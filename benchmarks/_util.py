@@ -1,0 +1,26 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark prints a paper-style table to stdout *and* appends it to
+``benchmarks/out/<name>.txt`` so a full run leaves a browsable record
+(EXPERIMENTS.md is compiled from these).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def emit(name: str, lines: list[str]) -> None:
+    """Print a result block and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===")
+    print(text)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def fmt_row(cols, widths) -> str:
+    return "  ".join(str(c).rjust(w) for c, w in zip(cols, widths))

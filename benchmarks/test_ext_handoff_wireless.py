@@ -1,0 +1,157 @@
+"""Extension benches: dynamic video handoff and wireless monitoring.
+
+Both extend §5.5/§6.2 material:
+
+* **Video handoff** — "[Remos] might similarly be used to determine
+  alternate servers and routes for a dynamic video handoff."  We
+  quantify the frames saved when the client may re-pick servers
+  mid-stream, versus sticking with its initial choice, while the
+  initial server's bandwidth collapses.
+* **Wireless location monitoring** — the Bridge/Wireless collectors
+  "must monitor the location of nodes on the network continuously."
+  We measure handoff-detection latency as a function of the monitoring
+  period: mean detection delay ~ period/2, the classic polling bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.video import HandoffVideoSession, VideoSession, VideoSpec
+from repro.collectors.benchmark_collector import BenchmarkConfig
+from repro.collectors.wireless_collector import WirelessCollector
+from repro.common.units import MBPS
+from repro.deploy import deploy_wan
+from repro.netsim.builders import SiteSpec, build_multisite_wan, build_wireless_lan
+from repro.netsim.wireless import associate
+from repro.snmp.agent import instrument_network
+
+from _util import emit, fmt_row
+
+
+def run_handoff_benefit(n_runs: int = 8):
+    """Frames received with vs without mid-stream handoff."""
+    spec = VideoSpec(duration_s=40.0, fps=24.0, i_frame_bytes=11000.0, seed=4)
+    results = []
+    for k in range(n_runs):
+        def make_world():
+            w = build_multisite_wan(
+                [
+                    SiteSpec("client", access_bps=100 * MBPS, n_hosts=2),
+                    SiteSpec("alpha", access_bps=0.6 * MBPS, n_hosts=3),
+                    SiteSpec("beta", access_bps=0.6 * MBPS, n_hosts=3),
+                ]
+            )
+            dep = deploy_wan(
+                w, bench_config=BenchmarkConfig(
+                    probe_bytes=30_000, max_age_s=3.0, max_probe_s=5.0
+                ),
+            )
+            # alpha collapses at a per-run time
+            w.net.engine.at(
+                w.net.now + 6.0 + k,
+                lambda: w.net.flows.start_flow(
+                    w.host("alpha", 1), w.host("client", 1),
+                    demand_bps=0.55 * MBPS, label="crush",
+                ),
+            )
+            return w, dep
+
+        w, dep = make_world()
+        servers = {"alpha": w.host("alpha", 0), "beta": w.host("beta", 0)}
+        session = HandoffVideoSession(
+            dep.modeler, w.net, w.host("client", 0), servers, spec,
+            start_site="alpha",
+        )
+        _, with_handoff = session.run()
+
+        w2, dep2 = make_world()
+        static = VideoSession(
+            w2.net, w2.host("alpha", 0), w2.host("client", 0), spec
+        ).run()
+        results.append(
+            (with_handoff.frames_received, static.frames_received,
+             len(session.handoffs))
+        )
+    return results, spec
+
+
+def test_ext_video_handoff(benchmark):
+    results, spec = benchmark.pedantic(run_handoff_benefit, rounds=1, iterations=1)
+    total = int(spec.duration_s * spec.fps)
+    widths = [5, 12, 10, 10]
+    lines = [
+        "frames received when the initial server collapses mid-stream",
+        fmt_row(["run", "handoff", "static", "switches"], widths),
+    ]
+    for k, (ho, st, n) in enumerate(results):
+        lines.append(fmt_row([k + 1, f"{ho}/{total}", f"{st}/{total}", n], widths))
+    gains = [ho - st for ho, st, _ in results]
+    lines.append("")
+    lines.append(f"mean gain: {np.mean(gains):.0f} frames "
+                 f"({100 * np.mean(gains) / total:.0f}% of the movie)")
+    emit("ext_video_handoff", lines)
+
+    # --- shape assertions ------------------------------------------------
+    assert all(n >= 1 for _, _, n in results), "every run must hand off"
+    assert np.mean(gains) > 0.1 * total, "handoff must save a real fraction"
+    assert all(ho >= st for ho, st, _ in results)
+
+
+def run_detection_latency():
+    """Handoff-detection delay vs monitoring period."""
+    periods = [2.0, 5.0, 10.0, 20.0]
+    out = {}
+    rng = np.random.default_rng(7)
+    for period in periods:
+        delays = []
+        for trial in range(12):
+            wl = build_wireless_lan(n_basestations=3, n_wireless_hosts=3)
+            world = instrument_network(wl.net)
+            wc = WirelessCollector(
+                "wc", wl.net, world, wl.wired_hosts[0].ip,
+                {bs.name: bs.management_ip for bs in wl.basestations},
+            )
+            wc.scan()
+            detected = []
+            wl.net.engine.every(period, lambda wc=wc, d=detected: (
+                d.append(wl.net.now) if wc.monitor_tick() else None
+            ))
+            move_at = float(rng.uniform(5.0, 5.0 + period))
+            h = wl.wireless_hosts[0]
+            target = wl.basestations[2]
+            wl.net.engine.at(move_at, lambda: (
+                associate(wl.net, h, target),
+                world.refresh_device(wl.basestations[0]),
+                world.refresh_device(target),
+            ))
+            wl.net.engine.run_until(move_at + 3 * period + 1.0)
+            if detected:
+                delays.append(detected[0] - move_at)
+        out[period] = (float(np.mean(delays)), len(delays))
+    return out
+
+
+def test_ext_wireless_detection_latency(benchmark):
+    out = benchmark.pedantic(run_detection_latency, rounds=1, iterations=1)
+    widths = [10, 14, 10]
+    lines = [
+        "handoff-detection latency vs monitoring period (12 trials each)",
+        fmt_row(["period[s]", "mean delay[s]", "detected"], widths),
+    ]
+    for period, (mean_delay, n) in sorted(out.items()):
+        lines.append(fmt_row([f"{period:.0f}", f"{mean_delay:.2f}", f"{n}/12"], widths))
+    lines.append("")
+    lines.append("polling bound: mean delay ~ period/2")
+    emit("ext_wireless_detection", lines)
+
+    # --- shape assertions -------------------------------------------------
+    for period, (mean_delay, n) in out.items():
+        assert n == 12, "every handoff must eventually be detected"
+        assert mean_delay <= period * 1.1
+    # longer periods detect slower
+    assert out[20.0][0] > out[2.0][0]
+    # mean ~ period/2 within a loose band
+    for period, (mean_delay, _) in out.items():
+        assert 0.15 * period <= mean_delay <= 0.9 * period

@@ -1,0 +1,104 @@
+"""Fig. 11 — application-perceived bandwidth vs Remos-reported bandwidth.
+
+Paper setup (§5.5): the same movie is downloaded from a local
+high-bandwidth server and from a remote server limited to ~0.15 Mbps;
+each arriving packet is timestamped, and application-perceived
+bandwidth is averaged over 1, 2, and 10 second windows.
+
+Paper results: the Remos-reported 0.15 Mbps line "corresponds well to
+bandwidth measured by the application if it is averaged over a large
+interval" (10 s — the interval Remos itself measures over); smaller
+windows fluctuate with movie content; the local download is not
+bandwidth-limited and shows pure content variation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.units import MBPS
+from repro.netsim.builders import SiteSpec, build_multisite_wan
+from repro.apps.video import VideoSession, VideoSpec
+from repro.collectors.benchmark_collector import BenchmarkConfig
+from repro.deploy import deploy_wan
+
+from _util import emit, fmt_row
+
+REMOTE_BPS = 0.15 * MBPS
+
+
+def run_fig11():
+    world = build_multisite_wan(
+        [
+            SiteSpec("eth", access_bps=100 * MBPS, n_hosts=4),
+            SiteSpec("remote", access_bps=REMOTE_BPS, n_hosts=2),
+        ]
+    )
+    dep = deploy_wan(
+        world,
+        bench_config=BenchmarkConfig(probe_bytes=40_000, max_probe_s=8.0),
+    )
+    client = world.host("eth", 0)
+    local_server = world.host("eth", 1)
+    remote_server = world.host("remote", 0)
+
+    reported = dep.modeler.flow_query(remote_server, client).available_bps
+
+    # a movie whose content rate (~0.3 Mbps) exceeds the remote link,
+    # so the remote download is bandwidth-limited while the local one
+    # shows pure content variation — exactly the paper's two curves
+    spec = VideoSpec(duration_s=35.0, fps=24.0, i_frame_bytes=5500.0,
+                     content_swing=0.8, seed=3)
+    local = VideoSession(world.net, local_server, client, spec,
+                         label="video:local").run()
+    remote = VideoSession(world.net, remote_server, client, spec,
+                          label="video:remote").run()
+    return reported, local, remote
+
+
+def test_fig11_video_intervals(benchmark):
+    reported, local, remote = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+
+    rows = {}
+    for name, res in (("local", local), ("remote", remote)):
+        for w in (1.0, 2.0, 10.0):
+            t, bw = res.perceived_bandwidth(w)
+            rows[(name, w)] = bw
+
+    widths = [10, 8, 12, 12]
+    lines = [
+        "Application-perceived bandwidth vs averaging window",
+        f"Remos-reported remote bandwidth: {reported / MBPS:.3f} Mbps "
+        f"(paper: the 0.15 Mbps line)",
+        "",
+        fmt_row(["server", "win[s]", "mean[Mbps]", "sd[Mbps]"], widths),
+    ]
+    for (name, w), bw in sorted(rows.items()):
+        lines.append(
+            fmt_row(
+                [name, f"{w:.0f}", f"{np.mean(bw) / MBPS:.3f}", f"{np.std(bw) / MBPS:.3f}"],
+                widths,
+            )
+        )
+    lines.append("")
+    lines.append(
+        "paper: 10 s averages match the reported line; 1-2 s windows fluctuate"
+        " with movie content; the local download is content-limited"
+    )
+    emit("fig11_video_intervals", lines)
+
+    # --- shape assertions --------------------------------------------------
+    # Remos reported the access-link rate
+    assert reported == pytest.approx(REMOTE_BPS, rel=0.05)
+    # the 10-second average of the remote download matches the reported line
+    assert np.mean(rows[("remote", 10.0)]) == pytest.approx(reported, rel=0.15)
+    # small windows fluctuate more than large ones
+    assert np.std(rows[("remote", 1.0)]) > np.std(rows[("remote", 10.0)])
+    assert np.std(rows[("local", 1.0)]) > np.std(rows[("local", 10.0)])
+    # the local download is not limited by the reported remote rate:
+    # it delivers the full content rate, well above 0.15 Mbps
+    assert np.mean(rows[("local", 10.0)]) > 1.5 * reported
+    # the local stream received every frame; the remote one did not
+    assert local.frames_received == local.total_frames
+    assert remote.frames_received < remote.total_frames

@@ -1,0 +1,115 @@
+"""Fig. 3 — LAN collector response time vs query size.
+
+Paper setup: the CMU SCS bridged LAN; the Bridge Collector already
+running; the SNMP Collector answers topology queries over 2..1280
+nodes with a 5-second polling period.  Four cache scenarios: Cold
+(SNMP collector just started), Part-Warm (previous query left ~1/2 of
+the data), Warm-Bridge (static topology cached, dynamics cold), and
+Warm (everything cached, periodic polling fresh).
+
+Paper results: cold-cache queries cost up to ~450 s at N=1280 and grow
+super-linearly; warm-cache queries are "a factor of three or more
+better" and should be ~O(N).
+
+We report *simulated* response time (every SNMP PDU and the per-pair
+processing charge the simulation clock) plus PDU counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectors.base import TopologyRequest
+from repro.deploy import deploy_lan
+from repro.netsim.builders import build_switched_lan
+
+from _util import emit, fmt_row
+
+SIZES = [2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 1280]
+SCENARIOS = ["cold", "part-warm", "warm-bridge", "warm"]
+
+
+@pytest.fixture(scope="module")
+def lan_world():
+    lan = build_switched_lan(1280, fanout=8)
+    dep = deploy_lan(lan)  # bridge collector startup included
+    return lan, dep
+
+
+def _timed_query(lan, coll, ips):
+    t0 = lan.net.now
+    resp = coll.topology(TopologyRequest.of(ips))
+    return lan.net.now - t0, resp.pdu_cost
+
+
+def run_fig3(lan, dep):
+    coll = dep.snmp_collectors["lan"]
+    results: dict[str, dict[int, tuple[float, int]]] = {s: {} for s in SCENARIOS}
+    for n in SIZES:
+        ips = [str(h.ip) for h in lan.hosts[:n]]
+        # Cold: the collector just started.
+        coll.flush_caches()
+        results["cold"][n] = _timed_query(lan, coll, ips)
+        # Warm-bridge: static cached (from the cold query), dynamics gone.
+        coll.flush_dynamics()
+        results["warm-bridge"][n] = _timed_query(lan, coll, ips)
+        # Part-warm: previous query left about half the data.
+        coll.flush_caches(keep_fraction=0.5)
+        coll.flush_dynamics()
+        results["part-warm"][n] = _timed_query(lan, coll, ips)
+        # Warm: everything cached, polling fresh.
+        coll.poll_once()
+        results["warm"][n] = _timed_query(lan, coll, ips)
+    return results
+
+
+def test_fig3_lan_scalability(lan_world, benchmark):
+    lan, dep = lan_world
+    results = benchmark.pedantic(lambda: run_fig3(lan, dep), rounds=1, iterations=1)
+
+    widths = [6, 11, 11, 12, 11, 9, 9]
+    lines = [
+        "LAN collector response time (simulated seconds) vs query size",
+        "paper: cold up to ~450 s at N=1280, warm >= 3x better, warm ~O(N)",
+        "",
+        fmt_row(["N", "cold", "part-warm", "warm-bridge", "warm",
+                 "cold#PDU", "warm#PDU"], widths),
+    ]
+    for n in SIZES:
+        lines.append(
+            fmt_row(
+                [
+                    n,
+                    f"{results['cold'][n][0]:.2f}",
+                    f"{results['part-warm'][n][0]:.2f}",
+                    f"{results['warm-bridge'][n][0]:.2f}",
+                    f"{results['warm'][n][0]:.3f}",
+                    results["cold"][n][1],
+                    results["warm"][n][1],
+                ],
+                widths,
+            )
+        )
+    big = SIZES[-1]
+    ratio = results["cold"][big][0] / max(results["warm"][big][0], 1e-9)
+    lines.append("")
+    lines.append(f"cold/warm ratio at N={big}: {ratio:.1f}x (paper: >= 3x)")
+    emit("fig3_lan_scalability", lines)
+
+    # --- shape assertions -------------------------------------------------
+    for n in SIZES:
+        cold_t, _ = results["cold"][n]
+        warm_t, _ = results["warm"][n]
+        assert warm_t <= cold_t, f"warm must not exceed cold at N={n}"
+    # caching pays off by >= 3x at scale (the paper's headline claim)
+    assert ratio >= 3.0
+    # part-warm sits between cold and warm at scale
+    assert (
+        results["warm"][big][0]
+        <= results["part-warm"][big][0]
+        <= results["cold"][big][0] * 1.05
+    )
+    # cold grows steeply: 1280 costs much more than 128
+    assert results["cold"][1280][0] > 5 * results["cold"][128][0]
+    # warm-cache PDU cost is ~O(N): links grow linearly with hosts
+    assert results["warm"][1280][1] <= 2 * 1280

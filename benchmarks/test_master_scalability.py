@@ -1,0 +1,88 @@
+"""§6.2 extension — Master Collector fan-out scalability.
+
+"An issue that has not yet been explored is how far this architecture
+scales in the performance domain — how high a rate of requests could be
+satisfied."  We measure two dimensions the paper leaves open:
+
+* multi-site query response time vs number of sites involved (each
+  site pair needs a stitched benchmark measurement, so all-pairs
+  queries grow quadratically; per-site delegation grows linearly);
+* sustained warm query throughput against one Master (wall-clock).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.common.units import MBPS
+from repro.collectors.base import TopologyRequest
+from repro.collectors.benchmark_collector import BenchmarkConfig
+from repro.deploy import deploy_wan
+from repro.netsim.builders import SiteSpec, build_multisite_wan
+
+from _util import emit, fmt_row
+
+SITE_COUNTS = [2, 4, 8, 12, 16]
+
+
+def run_fanout():
+    results = {}
+    for n in SITE_COUNTS:
+        w = build_multisite_wan(
+            [SiteSpec(f"s{i:02d}", access_bps=10 * MBPS, n_hosts=2)
+             for i in range(n)]
+        )
+        dep = deploy_wan(
+            w, bench_config=BenchmarkConfig(probe_bytes=50_000, max_age_s=600.0)
+        )
+        ips = [w.host(f"s{i:02d}", 0).ip for i in range(n)]
+        t0 = w.net.now
+        resp = dep.master.topology(TopologyRequest.of(ips))
+        cold_s = w.net.now - t0
+        t1 = w.net.now
+        dep.master.topology(TopologyRequest.of(ips))
+        warm_s = w.net.now - t1
+        # wall-clock sustained rate of warm one-pair queries
+        t_wall = time.perf_counter()
+        k = 0
+        while time.perf_counter() - t_wall < 0.2:
+            dep.modeler.flow_query(w.host("s00", 0), w.host("s01", 0))
+            k += 1
+        rate_hz = k / (time.perf_counter() - t_wall)
+        results[n] = (cold_s, warm_s, resp.graph.num_edges(), rate_hz)
+    return results
+
+
+def test_master_fanout_scalability(benchmark):
+    results = benchmark.pedantic(run_fanout, rounds=1, iterations=1)
+    widths = [6, 10, 10, 8, 12]
+    lines = [
+        "all-sites topology query vs site count (one master)",
+        fmt_row(["sites", "cold[s]", "warm[s]", "edges", "1-pair Hz"], widths),
+    ]
+    for n in SITE_COUNTS:
+        cold, warm, edges, hz = results[n]
+        lines.append(
+            fmt_row([n, f"{cold:.2f}", f"{warm:.3f}", edges, f"{hz:,.0f}"], widths)
+        )
+    lines.append("")
+    lines.append(
+        "cold cost is dominated by all-pairs benchmark probing (n(n-1)/2 "
+        "WAN edges); warm queries reuse cached measurements"
+    )
+    emit("master_scalability", lines)
+
+    # --- shape assertions ------------------------------------------------
+    # warm is much cheaper than cold at every scale
+    for n in SITE_COUNTS:
+        cold, warm, _, _ = results[n]
+        assert warm < cold / 3
+    # cold grows super-linearly: 16 sites cost >4x of 4 sites
+    assert results[16][0] > 4 * results[4][0]
+    # the stitched mesh has n(n-1)/2 logical WAN edges plus site detail
+    for n in SITE_COUNTS:
+        assert results[n][2] >= n * (n - 1) / 2
+    # single-pair queries stay fast regardless of deployment size
+    assert results[16][3] > 100

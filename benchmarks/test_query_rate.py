@@ -1,0 +1,79 @@
+"""§5.3 (text) — sustainable Remos query rate.
+
+Paper: "we were able to run a Remos query for a single flow at about
+14 Hz using the SNMP Collector, which itself typically makes SNMP
+queries at a 1/5 Hz rate.  At such rates, the overhead of RPS with an
+AR(16) or similar predictive model is in the noise."
+
+We measure the *wall-clock* rate of warm-cache flow queries through the
+full Modeler -> Master -> SNMP Collector stack, and compare the added
+cost of predictive (RPS AR(16)) queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.units import MBPS
+from repro.netsim.builders import build_switched_lan
+from repro.deploy import deploy_lan
+from repro.rps.service import RpsPredictionService
+
+from _util import emit
+
+
+@pytest.fixture(scope="module")
+def warm_lan():
+    lan = build_switched_lan(32, fanout=8)
+    dep = deploy_lan(lan)
+    dep.modeler.prediction_service = RpsPredictionService("AR(16)")
+    # warm everything: discovery + monitor history
+    lan.net.flows.start_flow(lan.hosts[0], lan.hosts[31], demand_bps=20 * MBPS)
+    dep.modeler.flow_query(lan.hosts[0], lan.hosts[31])
+    dep.start_monitoring()
+    lan.net.engine.run_until(lan.net.now + 200.0)
+    dep.stop()
+    return lan, dep
+
+
+def test_query_rate_plain(warm_lan, benchmark):
+    lan, dep = warm_lan
+
+    def one_query():
+        return dep.modeler.flow_query(lan.hosts[0], lan.hosts[31])
+
+    ans = benchmark(one_query)
+    hz = 1.0 / benchmark.stats["mean"]
+    emit(
+        "query_rate_plain",
+        [
+            "warm-cache flow query rate through the full stack",
+            f"paper: ~14 Hz on 2001 hardware; ours: {hz:,.0f} Hz wall-clock",
+            f"answer: {ans.available_bps / MBPS:.1f} Mbps available",
+        ],
+    )
+    assert hz > 14, "must at least match the paper's 2001-era rate"
+
+
+def test_query_rate_with_prediction(warm_lan, benchmark):
+    lan, dep = warm_lan
+
+    def one_query():
+        return dep.modeler.flow_query(
+            lan.hosts[0], lan.hosts[31], predict=True, horizon_steps=1
+        )
+
+    ans = benchmark(one_query)
+    hz = 1.0 / benchmark.stats["mean"]
+    emit(
+        "query_rate_predictive",
+        [
+            "predictive (AR(16)) flow query rate",
+            f"{hz:,.0f} Hz wall-clock; predicted {0 if ans.predicted_bps is None else ans.predicted_bps / MBPS:.1f} Mbps",
+            "paper: 'the overhead of RPS with an AR(16) model is in the noise'",
+        ],
+    )
+    assert ans.predicted_bps is not None
+    # prediction must not dominate the query cost (paper: in the noise
+    # relative to 14 Hz; allow it to halve our much higher rate)
+    assert hz > 14

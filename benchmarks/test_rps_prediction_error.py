@@ -1,0 +1,100 @@
+"""§5.3 (text) — RPS prediction quality on host load.
+
+Paper claims:
+
+* "For host load, AR(16) predictors produce one-second-ahead error
+  variances that are 70% lower than raw signal variance, and provide
+  benefits out to at least 30 seconds."
+* "RPS also characterizes its own prediction error, and that
+  characterization is usually quite accurate regardless of the data."
+
+We reproduce both on synthetic self-similar host-load traces (the real
+CMU traces are not shippable; the generator preserves the relevant
+statistics — positivity, long-range dependence, epochal level shifts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rps.evaluator import Evaluator
+from repro.rps.hostload import host_load_trace
+from repro.rps.models import parse_model
+
+from _util import emit, fmt_row
+
+HORIZONS = [1, 2, 5, 10, 20, 30]
+N_TRACES = 8
+FIT = 600
+EVAL = 1200
+
+
+def run_prediction_error():
+    """Per-horizon error variance of AR(16), averaged over traces.
+
+    The model is the periodically-refit AR(16) the RPS host-load
+    pipeline actually runs (the evaluator triggers refits in
+    production; here the REFIT template refits every 300 samples).
+    Raw variance is the whole trace's — "raw signal variance" is a
+    property of the signal, not of the evaluation window.
+    """
+    err_var = {h: [] for h in HORIZONS}
+    raw_var = []
+    calib = []
+    for trace_id in range(N_TRACES):
+        trace = host_load_trace(
+            FIT + EVAL + max(HORIZONS), hurst=0.8, texture_scale=0.5,
+            epoch_mean_s=400.0, epoch_jump=0.5, smoothing_s=2.0,
+            seed=100 + trace_id,
+        )
+        fitted = parse_model("REFIT(AR(16),300)").fit(trace[:FIT])
+        ev = Evaluator(fitted, window=EVAL)
+        errors = {h: [] for h in HORIZONS}
+        for t in range(FIT, FIT + EVAL):
+            fc = fitted.forecast(max(HORIZONS))
+            for h in HORIZONS:
+                errors[h].append(trace[t + h - 1] - fc.values[h - 1])
+            ev._errors.append(trace[t] - fc.values[0])
+            ev._claimed.append(float(fc.variances[0]))
+            fitted.step(trace[t])
+        raw_var.append(float(np.var(trace)))
+        for h in HORIZONS:
+            err_var[h].append(float(np.mean(np.square(errors[h]))))
+        calib.append(ev.report().calibration_ratio)
+    mean_raw = float(np.mean(raw_var))
+    mean_err = {h: float(np.mean(err_var[h])) for h in HORIZONS}
+    return mean_raw, mean_err, float(np.mean(calib))
+
+
+def test_rps_prediction_error(benchmark):
+    raw, err, calib = benchmark.pedantic(run_prediction_error, rounds=1, iterations=1)
+
+    widths = [12, 14, 14]
+    lines = [
+        f"AR(16) h-step-ahead error variance on host load ({N_TRACES} traces)",
+        f"raw signal variance: {raw:.4f}",
+        "",
+        fmt_row(["horizon[s]", "err var", "vs raw [%]"], widths),
+    ]
+    for h in HORIZONS:
+        lines.append(
+            fmt_row([h, f"{err[h]:.4f}", f"{100 * (1 - err[h] / raw):.1f}"], widths)
+        )
+    lines.append("")
+    lines.append(
+        f"1-step reduction {100 * (1 - err[1] / raw):.0f}% (paper: ~70%); "
+        f"benefit at 30 steps {100 * (1 - err[30] / raw):.0f}% (paper: >0%)"
+    )
+    lines.append(f"self-characterized error calibration ratio: {calib:.2f} (1 = perfect)")
+    emit("rps_prediction_error", lines)
+
+    # --- shape assertions -------------------------------------------------
+    # one-step-ahead error variance at least 70% below raw variance
+    assert err[1] < 0.3 * raw
+    # error grows with horizon
+    assert err[1] < err[5] < err[30] * 1.05
+    # still a benefit at 30 steps
+    assert err[30] < raw
+    # the model's own error characterization is honest within ~3x
+    assert 0.3 < calib < 3.0

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: stand up Remos on a simulated two-site grid and query it.
+
+Run with::
+
+    python examples/quickstart.py
+
+Walks through the core API: build a topology, deploy the collector
+stack, issue topology and flow queries through the Modeler.
+"""
+
+from repro.common.units import MBPS, fmt_rate
+from repro.deploy import deploy_wan
+from repro.netsim import SiteSpec, build_multisite_wan
+
+
+def main() -> None:
+    # 1. A world: two sites joined by a WAN, the first with a fast
+    #    access link, the second throttled to 2 Mbps.
+    world = build_multisite_wan(
+        [
+            SiteSpec("cmu", access_bps=10 * MBPS, n_hosts=3),
+            SiteSpec("eth", access_bps=2 * MBPS, n_hosts=3),
+        ]
+    )
+
+    # 2. Deploy Remos: per site an SNMP collector (+ bridge collector
+    #    for the switched LAN) and a benchmark collector; one master;
+    #    one modeler.  This is Figure 2 of the paper in miniature.
+    remos = deploy_wan(world)
+
+    # 3. Some background traffic so there is something to observe.
+    world.net.flows.start_flow(
+        world.host("cmu", 1), world.host("eth", 1), demand_bps=0.5 * MBPS
+    )
+    world.net.engine.run_until(30.0)
+
+    # 4. A topology query: the virtual topology between two hosts,
+    #    simplified the way an application wants to see it.
+    client, server = world.host("cmu", 0), world.host("eth", 0)
+    topo = remos.modeler.topology_query([client, server])
+    print("virtual topology:")
+    for node in topo.nodes():
+        print(f"  node {node.id:24s} kind={node.kind}")
+    for edge in topo.edges():
+        print(
+            f"  edge {edge.a} -- {edge.b}: capacity {fmt_rate(edge.capacity_bps)}"
+        )
+
+    # 5. A flow query: what bandwidth would a new transfer get?
+    answer = remos.modeler.flow_query(client, server)
+    print(f"\nflow {answer.src} -> {answer.dst}:")
+    print(f"  available bandwidth : {fmt_rate(answer.available_bps)}")
+    print(f"  bottleneck residual : {fmt_rate(answer.bottleneck_bps)}")
+    print(f"  path                : {' -> '.join(answer.path)}")
+    print(f"  latency             : {answer.latency_s * 1000:.1f} ms")
+
+    # 6. Joint queries model contention: two flows into the same
+    #    2 Mbps site split it fairly.
+    answers = remos.modeler.flow_queries(
+        [
+            (world.host("cmu", 0), world.host("eth", 0)),
+            (world.host("cmu", 1), world.host("eth", 2)),
+        ]
+    )
+    print("\ntwo simultaneous flows into the 2 Mbps site:")
+    for a in answers:
+        print(f"  {a.src} -> {a.dst}: {fmt_rate(a.available_bps)}")
+
+
+if __name__ == "__main__":
+    main()

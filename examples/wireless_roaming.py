@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Wireless roaming: mobile hosts, handoffs, and location monitoring.
+
+The paper lists a wireless-LAN collector as under development and
+mobile-host support as ongoing work (§3.1, §6.2).  This example runs
+that scenario: hosts roam between basestations mid-transfer, the
+Wireless Collector's periodic monitoring notices each handoff, and
+flow queries reflect the new cell's shared-medium bandwidth.
+
+Run with::
+
+    python examples/wireless_roaming.py
+"""
+
+from repro.common.units import MBPS, fmt_rate
+from repro.deploy import deploy_wireless
+from repro.netsim import build_wireless_lan
+from repro.netsim.wireless import associate, current_basestation
+
+
+def main() -> None:
+    wl = build_wireless_lan(n_basestations=3, n_wireless_hosts=6)
+    remos = deploy_wireless(wl, location_monitor_s=5.0)
+    wc = remos.wireless_collectors["wlan"]
+    net = wl.net
+
+    roamer = wl.wireless_hosts[0]
+    mac = roamer.interfaces[0].mac
+    server = wl.wired_hosts[0]
+
+    print("initial cells:")
+    for name, cell in sorted(wc.cells.items()):
+        print(f"  {name}: {cell.station_count} stations at "
+              f"{fmt_rate(cell.air_rate_bps)} air rate")
+
+    # a transfer is running when the host roams
+    flow = net.flows.start_flow(roamer, server, label="download")
+    print(f"\n{roamer.name} downloading at {fmt_rate(flow.rate_bps)} "
+          f"in cell {current_basestation(roamer).name}")
+
+    net.engine.run_until(20.0)
+    print(f"\n--- t={net.now:.0f}s: {roamer.name} roams to ap2 ---")
+    broken = associate(net, roamer, wl.basestations[2])
+    remos.world.refresh_device(wl.basestations[0])
+    remos.world.refresh_device(wl.basestations[2])
+    print(f"handoff broke {len(broken)} flow(s) (as a real handoff would)")
+
+    # the periodic monitor notices within one period
+    net.engine.run_until(30.0)
+    print(f"collector has seen {wc.handoffs_seen} handoff(s); "
+          f"it now places {roamer.name} in cell {wc.locate(mac).name}")
+
+    # reconnect and ask Remos what the new cell offers
+    flow2 = net.flows.start_flow(roamer, server, label="download2")
+    ans = remos.modeler.flow_query(roamer, server)
+    print(f"\nafter reconnect: flow gets {fmt_rate(flow2.rate_bps)}; "
+          f"Remos reports {fmt_rate(ans.available_bps)} available")
+    print(f"expected fair share in {wc.locate(mac).name}: "
+          f"{fmt_rate(wc.expected_bandwidth(mac))}")
+
+
+if __name__ == "__main__":
+    main()

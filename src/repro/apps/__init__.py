@@ -1,0 +1,27 @@
+"""The paper's applications: mirror-server selection and adaptive video."""
+
+from repro.apps.mirror import DEFAULT_FILE_BYTES, MirrorClient, TrialResult
+from repro.apps.scheduler import JobSpec, NodeSelector, Placement
+from repro.apps.video import (
+    HandoffVideoSession,
+    ReceivedFrame,
+    VideoResult,
+    VideoSession,
+    VideoSpec,
+    choose_and_stream,
+)
+
+__all__ = [
+    "DEFAULT_FILE_BYTES",
+    "MirrorClient",
+    "TrialResult",
+    "JobSpec",
+    "NodeSelector",
+    "Placement",
+    "HandoffVideoSession",
+    "ReceivedFrame",
+    "VideoResult",
+    "VideoSession",
+    "VideoSpec",
+    "choose_and_stream",
+]

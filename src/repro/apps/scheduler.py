@@ -1,0 +1,153 @@
+"""Compute-node selection: the paper's third application class.
+
+§6.3: "for applications … that have to select and assign a set of
+compute nodes with certain connectivity properties, or that have to
+make critical configuration decisions …, Remos provides explicit
+connectivity information that would be difficult and expensive to
+collect otherwise."
+
+:class:`NodeSelector` is that application: given candidate hosts and a
+:class:`JobSpec` (node count, minimum pairwise bandwidth, latency and
+load ceilings), it asks Remos for node loads and a summary topology,
+and greedily grows the best-connected node set.  ``verify=True`` then
+prices the chosen set with a *joint* flow query (all pairs at once), so
+the reported bandwidth accounts for the job's own flows contending —
+the difference between per-pair bottlenecks and what a collective
+application actually gets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.common.errors import QueryError, TopologyError
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What the application needs from its node set."""
+
+    n_nodes: int
+    min_pair_bandwidth_bps: float = 0.0
+    max_latency_s: float = math.inf
+    max_load: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ValueError("a node set needs at least 2 nodes")
+
+
+@dataclass
+class Placement:
+    """The chosen node set and its connectivity properties."""
+
+    hosts: tuple[str, ...]
+    #: worst per-pair bottleneck bandwidth within the set
+    min_pair_bandwidth_bps: float
+    #: worst per-pair latency within the set
+    max_latency_s: float
+    #: highest node load within the set (0 when loads unknown)
+    max_load: float
+    #: joint all-pairs max-min rate (set by verify; None otherwise)
+    verified_joint_bps: float | None = None
+
+
+class NodeSelector:
+    """Greedy node-set selection over Remos answers."""
+
+    def __init__(self, modeler, candidates) -> None:
+        if len(candidates) < 2:
+            raise ValueError("need at least two candidate hosts")
+        self.modeler = modeler
+        self.candidates = list(candidates)
+
+    def select(self, spec: JobSpec, verify: bool = False) -> Placement:
+        """Pick ``spec.n_nodes`` hosts maximizing the worst pairwise
+        bandwidth subject to the constraints.
+
+        Raises :class:`~repro.common.errors.QueryError` when no
+        feasible set exists among the candidates.
+        """
+        from repro.modeler.api import _ip_of
+
+        if spec.n_nodes > len(self.candidates):
+            raise QueryError(
+                f"need {spec.n_nodes} nodes, only {len(self.candidates)} candidates"
+            )
+        # 1. load filter (node queries)
+        loads: dict[str, float] = {}
+        eligible = []
+        try:
+            answers = self.modeler.node_query(self.candidates)
+        except QueryError:
+            answers = None
+        if answers is not None:
+            for host, ans in zip(self.candidates, answers):
+                load = ans.load if ans.load is not None else 0.0
+                loads[_ip_of(host)] = load
+                if load <= spec.max_load:
+                    eligible.append(host)
+        else:
+            eligible = list(self.candidates)
+        if len(eligible) < spec.n_nodes:
+            raise QueryError("too few nodes under the load ceiling")
+
+        # 2. pairwise connectivity (summary topology query)
+        summary = self.modeler.topology_query(eligible, detail="summary")
+        ips = [_ip_of(h) for h in eligible]
+
+        def pair_bw(a: str, b: str) -> float:
+            if not summary.has_edge(a, b):
+                return 0.0
+            e = summary.edge(a, b)
+            return min(e.available_from(a), e.available_from(b))
+
+        def pair_lat(a: str, b: str) -> float:
+            if not summary.has_edge(a, b):
+                return math.inf
+            return summary.edge(a, b).latency_s
+
+        def ok(a: str, b: str) -> bool:
+            return (
+                pair_bw(a, b) >= spec.min_pair_bandwidth_bps
+                and pair_lat(a, b) <= spec.max_latency_s
+            )
+
+        # 3. greedy: best feasible seed pair, then grow by max-min gain
+        seed = None
+        best_seed_bw = -1.0
+        for a, b in combinations(ips, 2):
+            if ok(a, b) and pair_bw(a, b) > best_seed_bw:
+                best_seed_bw = pair_bw(a, b)
+                seed = (a, b)
+        if seed is None:
+            raise QueryError("no host pair satisfies the connectivity constraints")
+        chosen = list(seed)
+        while len(chosen) < spec.n_nodes:
+            best, best_score = None, -1.0
+            for cand in ips:
+                if cand in chosen:
+                    continue
+                if not all(ok(cand, m) for m in chosen):
+                    continue
+                score = min(pair_bw(cand, m) for m in chosen)
+                if score > best_score:
+                    best, best_score = cand, score
+            if best is None:
+                raise QueryError(
+                    f"cannot grow the node set past {len(chosen)} under the constraints"
+                )
+            chosen.append(best)
+
+        min_bw = min(pair_bw(a, b) for a, b in combinations(chosen, 2))
+        max_lat = max(pair_lat(a, b) for a, b in combinations(chosen, 2))
+        max_load = max((loads.get(ip, 0.0) for ip in chosen), default=0.0)
+        placement = Placement(tuple(chosen), min_bw, max_lat, max_load)
+
+        if verify:
+            pairs = list(combinations(chosen, 2))
+            joint = self.modeler.flow_queries(pairs)
+            placement.verified_joint_bps = min(a.available_bps for a in joint)
+        return placement

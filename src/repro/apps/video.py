@@ -1,0 +1,374 @@
+"""Adaptive video streaming (the paper's §5.5 application).
+
+"The video server is able to adapt the outgoing video stream to the
+available bandwidth by intelligently dropping frames of lower
+importance.  It thereby maximizes the numbers of frames that are
+transmitted correctly."
+
+The model: an MPEG-like stream with a repeating GOP pattern of I/P/B
+frames.  Per adaptation interval the server observes the bandwidth its
+flow actually gets (max-min fluid rate), spends that byte budget on
+frames in priority order (I > P > B; within a class, earlier first),
+and drops the rest.  The client timestamps arrivals and can report its
+perceived bandwidth averaged over arbitrary windows — the Fig. 11
+analysis — and the count of correctly received frames — the Fig. 10
+metric.
+
+``server_efficiency < 1`` models an overloaded server that fails to
+push its full share ("the server only sent about half of the packets,
+probably due to a high load on the server").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.rng import make_rng
+from repro.common.units import BITS_PER_BYTE
+from repro.netsim.flows import Flow
+from repro.netsim.topology import Host, Network
+
+#: frame kind priorities, lower = more important
+_PRIORITY = {"I": 0, "P": 1, "B": 2}
+
+
+@dataclass
+class VideoSpec:
+    """A frame-structured stream.
+
+    Frame sizes follow the GOP pattern with a content modulation (a
+    slow sinusoid plus noise) so instantaneous bitrate fluctuates the
+    way real movie content does — the fluctuation Fig. 11 shows at
+    small averaging windows.
+    """
+
+    duration_s: float = 30.0
+    fps: float = 24.0
+    gop: str = "IBBPBBPBBPBB"
+    #: bytes of an I frame at modulation 1.0
+    i_frame_bytes: float = 6000.0
+    p_fraction: float = 0.4
+    b_fraction: float = 0.15
+    #: peak-to-peak fraction of the content modulation
+    content_swing: float = 0.5
+    content_period_s: float = 8.0
+    noise_frac: float = 0.1
+    seed: int = 0
+
+    def frames(self) -> list[tuple[float, str, float]]:
+        """All frames as (display time, kind, size bytes)."""
+        rng = make_rng(self.seed)
+        n = int(self.duration_s * self.fps)
+        out = []
+        for k in range(n):
+            t = k / self.fps
+            kind = self.gop[k % len(self.gop)]
+            base = {
+                "I": self.i_frame_bytes,
+                "P": self.i_frame_bytes * self.p_fraction,
+                "B": self.i_frame_bytes * self.b_fraction,
+            }[kind]
+            mod = 1.0 + 0.5 * self.content_swing * math.sin(
+                2 * math.pi * t / self.content_period_s
+            )
+            mod *= 1.0 + self.noise_frac * float(rng.standard_normal())
+            out.append((t, kind, max(1.0, base * mod)))
+        return out
+
+    def nominal_rate_bps(self) -> float:
+        """Long-run average bitrate of the full stream."""
+        frames = self.frames()
+        total = sum(sz for _, _, sz in frames)
+        return total * BITS_PER_BYTE / self.duration_s
+
+
+@dataclass
+class ReceivedFrame:
+    time_s: float
+    kind: str
+    size_bytes: float
+
+
+@dataclass
+class VideoResult:
+    """Client-side outcome of one streaming session."""
+
+    total_frames: int
+    received: list[ReceivedFrame]
+    #: (interval end time, bytes delivered in interval)
+    deliveries: list[tuple[float, float]]
+
+    @property
+    def frames_received(self) -> int:
+        return len(self.received)
+
+    def perceived_bandwidth(self, window_s: float) -> tuple[np.ndarray, np.ndarray]:
+        """Client-measured bandwidth averaged over ``window_s`` windows.
+
+        Returns (window end times, bps).  This is the Fig. 11 analysis:
+        small windows show content fluctuation, large windows match the
+        Remos-reported rate.
+        """
+        if not self.deliveries:
+            return np.empty(0), np.empty(0)
+        times = np.array([t for t, _ in self.deliveries])
+        bytes_ = np.array([b for _, b in self.deliveries])
+        t_end = times.max()
+        t_start = times.min()
+        edges = np.arange(t_start, t_end + window_s, window_s)
+        if edges.size < 2:
+            edges = np.array([t_start, t_end])
+        idx = np.searchsorted(edges, times, side="right") - 1
+        idx = np.clip(idx, 0, edges.size - 2)
+        sums = np.zeros(edges.size - 1)
+        np.add.at(sums, idx, bytes_)
+        widths = np.diff(edges)
+        rates = sums * BITS_PER_BYTE / widths
+        ends = edges[1:]
+        # drop a trailing partial window: it under-reports the rate
+        complete = ends <= t_end + 1e-9
+        if complete.any():
+            return ends[complete], rates[complete]
+        return ends, rates
+
+
+class VideoSession:
+    """One server -> client adaptive streaming run.
+
+    Drive it with :meth:`run` (pumps the engine until the stream ends).
+    Adaptation happens every ``adapt_interval_s``: the server sends the
+    highest-priority frames that fit into the bytes its flow carried in
+    the last interval.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        server: Host,
+        client: Host,
+        spec: VideoSpec,
+        adapt_interval_s: float = 0.5,
+        server_efficiency: float = 1.0,
+        label: str = "video",
+    ) -> None:
+        if not 0.0 < server_efficiency <= 1.0:
+            raise ValueError("server_efficiency must be in (0, 1]")
+        self.net = net
+        self.server = server
+        self.client = client
+        self.spec = spec
+        self.adapt_interval_s = adapt_interval_s
+        self.server_efficiency = server_efficiency
+        self.label = label
+        self._frames = spec.frames()
+        self._flow: Flow | None = None
+        self._result: VideoResult | None = None
+
+    def run(self) -> VideoResult:
+        """Stream the whole video; returns the client's result."""
+        received: list[ReceivedFrame] = []
+        deliveries: list[tuple[float, float]] = []
+        t_start = self.net.now
+        demand = self.spec.nominal_rate_bps() * 1.5  # headroom for peaks
+        flow = self.net.flows.start_flow(
+            self.server, self.client, demand_bps=demand, label=self.label
+        )
+        self._flow = flow
+        pending = list(self._frames)  # (display time, kind, size)
+        carried = 0.0  # leftover byte budget (sub-frame remainders)
+        elapsed = 0.0
+        while elapsed < self.spec.duration_s and pending:
+            interval = min(self.adapt_interval_s, self.spec.duration_s - elapsed)
+            bytes_before = flow.bytes_done
+            self.net.engine.run_until(t_start + elapsed + interval)
+            self.net.flows._settle(flow)
+            budget = (flow.bytes_done - bytes_before) * self.server_efficiency
+            budget += carried
+            elapsed += interval
+            # frames due in this interval
+            due = [f for f in pending if f[0] < elapsed]
+            pending = [f for f in pending if f[0] >= elapsed]
+            # priority order: I, P, B; within class by display time
+            due.sort(key=lambda f: (_PRIORITY[f[1]], f[0]))
+            sent_bytes = 0.0
+            for t, kind, size in due:
+                if sent_bytes + size <= budget:
+                    sent_bytes += size
+                    received.append(ReceivedFrame(t, kind, size))
+            carried = min(budget - sent_bytes, self.spec.i_frame_bytes)
+            deliveries.append((t_start + elapsed, sent_bytes))
+        self.net.flows.stop_flow(flow)
+        received.sort(key=lambda f: f.time_s)
+        self._result = VideoResult(len(self._frames), received, deliveries)
+        return self._result
+
+
+class HandoffVideoSession:
+    """Adaptive streaming with mid-stream server handoff.
+
+    "[Remos] might similarly be used to determine alternate servers and
+    routes for a dynamic video handoff" (§5.5, pointing at Karrer &
+    Gross).  Every ``recheck_s`` the client re-queries Remos for the
+    available bandwidth to every replica; if another server offers at
+    least ``switch_factor`` times the current one, the stream hands
+    off — paying ``handoff_gap_s`` of dead air, during which no frames
+    are delivered.
+    """
+
+    def __init__(
+        self,
+        modeler,
+        net: Network,
+        client: Host,
+        servers: dict[str, Host],
+        spec: VideoSpec,
+        start_site: str | None = None,
+        recheck_s: float = 5.0,
+        switch_factor: float = 1.5,
+        handoff_gap_s: float = 1.0,
+        adapt_interval_s: float = 0.5,
+    ) -> None:
+        if not servers:
+            raise ValueError("need at least one server")
+        self.modeler = modeler
+        self.net = net
+        self.client = client
+        self.servers = dict(servers)
+        self.spec = spec
+        self.recheck_s = recheck_s
+        self.switch_factor = switch_factor
+        self.handoff_gap_s = handoff_gap_s
+        self.adapt_interval_s = adapt_interval_s
+        self.start_site = start_site
+        #: (time, from site, to site) for each handoff performed
+        self.handoffs: list[tuple[float, str, str]] = []
+
+    def _best_site(self) -> tuple[str, dict[str, float]]:
+        reported = {}
+        for site, server in sorted(self.servers.items()):
+            reported[site] = self.modeler.flow_query(server, self.client).available_bps
+        best = max(sorted(reported), key=lambda s: reported[s])
+        return best, reported
+
+    def run(self) -> tuple[str, VideoResult]:
+        """Stream with handoffs; returns (final site, client result)."""
+        current, _ = (
+            (self.start_site, None) if self.start_site else self._best_site()
+        )
+        received: list[ReceivedFrame] = []
+        deliveries: list[tuple[float, float]] = []
+        frames = self.spec.frames()
+        pending = list(frames)
+        t_start = self.net.now
+        elapsed = 0.0
+        carried = 0.0
+        demand = self.spec.nominal_rate_bps() * 1.5
+        flow = self.net.flows.start_flow(
+            self.servers[current], self.client, demand_bps=demand,
+            label=f"video:{current}",
+        )
+        next_check = self.recheck_s
+        bytes_last = flow.bytes_done
+        while elapsed < self.spec.duration_s and pending:
+            target = t_start + min(
+                elapsed + self.adapt_interval_s, self.spec.duration_s
+            )
+            if self.net.now < target:
+                self.net.engine.run_until(target)
+            self.net.flows._settle(flow)
+            budget = (flow.bytes_done - bytes_last) + carried
+            bytes_last = flow.bytes_done
+            # anchor on the simulation clock: mid-stream Remos queries
+            # (probes) consume real time too
+            elapsed = self.net.now - t_start
+            due = [f for f in pending if f[0] < elapsed]
+            pending = [f for f in pending if f[0] >= elapsed]
+            due.sort(key=lambda f: (_PRIORITY[f[1]], f[0]))
+            sent = 0.0
+            for t, kind, size in due:
+                if sent + size <= budget:
+                    sent += size
+                    received.append(ReceivedFrame(t, kind, size))
+            carried = min(budget - sent, self.spec.i_frame_bytes)
+            deliveries.append((t_start + elapsed, sent))
+            if elapsed >= next_check and elapsed < self.spec.duration_s:
+                next_check += self.recheck_s
+                best, reported = self._best_site()
+                # Baseline = what this stream actually receives now, not
+                # the residual Remos reports for the current server: the
+                # stream's own traffic depresses that residual (§6.3 —
+                # during execution, fine-tune on direct measurements).
+                getting = min(flow.rate_bps, demand)
+                if (
+                    best != current
+                    and reported[best] >= self.switch_factor * max(getting, 1.0)
+                ):
+                    # hand off: dead air while the new stream starts
+                    self.net.flows.stop_flow(flow)
+                    gap = min(self.handoff_gap_s, self.spec.duration_s - elapsed)
+                    self.net.engine.run_until(self.net.now + gap)
+                    elapsed = self.net.now - t_start
+                    pending = [f for f in pending if f[0] >= elapsed]
+                    self.handoffs.append((self.net.now, current, best))
+                    current = best
+                    carried = 0.0
+                    flow = self.net.flows.start_flow(
+                        self.servers[current], self.client, demand_bps=demand,
+                        label=f"video:{current}",
+                    )
+                    bytes_last = flow.bytes_done
+        self.net.flows.stop_flow(flow)
+        received.sort(key=lambda f: f.time_s)
+        return current, VideoResult(len(frames), received, deliveries)
+
+
+def choose_and_stream(
+    modeler,
+    net: Network,
+    client: Host,
+    servers: dict[str, Host],
+    spec: VideoSpec,
+    efficiencies: dict[str, float] | None = None,
+    consider_load: bool = False,
+    load_threshold: float = 2.0,
+) -> tuple[str, dict[str, VideoResult]]:
+    """The Fig. 10 experiment step: query Remos for bandwidth to every
+    server, stream from each in decreasing reported order, return the
+    picked server and all results.
+
+    ``consider_load=True`` addresses the paper's own diagnosis of its
+    two mispicks ("the server only sent about half of the packets,
+    probably due to a high load on the server … other parameters may
+    influence the download as well and must be taken into account"):
+    the client also issues Remos *node* queries, and any server whose
+    load exceeds ``load_threshold`` is demoted below the responsive
+    ones regardless of its bandwidth.
+    """
+    efficiencies = efficiencies or {}
+    reported: dict[str, float] = {}
+    loads: dict[str, float] = {}
+    for site, server in sorted(servers.items()):
+        ans = modeler.flow_query(server, client)
+        reported[site] = ans.available_bps
+        if consider_load:
+            [node] = modeler.node_query([server])
+            loads[site] = node.load if node.load is not None else 0.0
+    if consider_load:
+        order = sorted(
+            reported,
+            key=lambda s: (loads.get(s, 0.0) > load_threshold, -reported[s], s),
+        )
+    else:
+        order = sorted(reported, key=lambda s: (-reported[s], s))
+    results: dict[str, VideoResult] = {}
+    for site in order:
+        session = VideoSession(
+            net, servers[site], client, spec,
+            server_efficiency=efficiencies.get(site, 1.0),
+            label=f"video:{site}",
+        )
+        results[site] = session.run()
+    return order[0], results

@@ -1,0 +1,252 @@
+"""Command-line interface: poke at Remos on canned simulated worlds.
+
+Because the network under observation is simulated, the CLI operates on
+named scenarios rather than live devices::
+
+    python -m repro scenarios
+    python -m repro topology wan cmu-h0 eth-h0
+    python -m repro flow wan cmu-h0 eth-h0 --predict
+    python -m repro nodes lan h0 h1
+    python -m repro models
+    python -m repro forecast --spec "AR(16)" --horizon 10
+
+Each command builds the world, deploys the collector stack, runs long
+enough for measurements to exist, and prints what an application would
+see through the Remos API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.common.errors import RemosError
+from repro.common.units import MBPS, fmt_rate
+
+#: scenario name -> description (builders resolved lazily; deployments
+#: take a second or two each)
+SCENARIOS = {
+    "lan": "a 32-host switched LAN behind one router (hosts h0..h31)",
+    "hub": "a shared-Ethernet LAN with a hub (hosts hub_h0.., sw_h0..)",
+    "campus": "3 routed subnets, each a switched LAN (hosts c0h0..c2h3)",
+    "wan": "3 sites joined by a WAN: cmu (10 Mbps), eth (60 Mbps), "
+           "coimbra (0.3 Mbps) (hosts cmu-h0.. etc.)",
+    "wireless": "3 basestations, 6 roaming hosts (wh0..), 2 wired (h0..)",
+}
+
+
+def _build(scenario: str):
+    from repro import deploy
+    from repro.netsim import builders
+
+    if scenario.endswith(".json"):
+        from pathlib import Path
+
+        from repro.netsim.spec import network_from_json
+
+        net = network_from_json(Path(scenario).read_text())
+        return net, deploy.auto_deploy(net)
+    if scenario == "lan":
+        world = builders.build_switched_lan(32, fanout=8)
+        return world.net, deploy.deploy_lan(world)
+    if scenario == "hub":
+        world = builders.build_hub_lan()
+        return world.net, deploy.deploy_lan(world)
+    if scenario == "campus":
+        world = builders.build_campus(3, 4)
+        return world.net, deploy.deploy_campus(world)
+    if scenario == "wan":
+        world = builders.build_multisite_wan(
+            [
+                builders.SiteSpec("cmu", access_bps=10 * MBPS, n_hosts=3),
+                builders.SiteSpec("eth", access_bps=60 * MBPS, n_hosts=3),
+                builders.SiteSpec("coimbra", access_bps=0.3 * MBPS, n_hosts=3),
+            ]
+        )
+        return world.net, deploy.deploy_wan(world)
+    if scenario == "wireless":
+        wl = builders.build_wireless_lan()
+        return wl.net, deploy.deploy_wireless(wl)
+    raise SystemExit(f"unknown scenario {scenario!r} (see `scenarios`)")
+
+
+def _host(net, name: str):
+    from repro.netsim.topology import Host
+
+    node = net.nodes.get(name)
+    if not isinstance(node, Host):
+        raise SystemExit(
+            f"no host named {name!r}; hosts: "
+            + ", ".join(sorted(n for n, d in net.nodes.items() if d.kind == "host"))
+        )
+    return node
+
+
+def cmd_scenarios(args) -> int:
+    for name, desc in SCENARIOS.items():
+        print(f"{name:>9}  {desc}")
+    return 0
+
+
+def cmd_topology(args) -> int:
+    net, dep = _build(args.scenario)
+    hosts = [_host(net, h) for h in args.hosts]
+    net.engine.run_until(net.now + 10.0)
+    graph = dep.modeler.topology_query(hosts, simplified=not args.raw)
+    print(f"# topology spanning {', '.join(args.hosts)}"
+          f" ({'raw' if args.raw else 'simplified'})")
+    for n in graph.nodes():
+        ips = f"  [{', '.join(n.ips)}]" if n.ips else ""
+        print(f"node  {n.id:<28} {n.kind}{ips}")
+    for e in graph.edges():
+        print(
+            f"edge  {e.a} -- {e.b}: {fmt_rate(e.capacity_bps)}"
+            f", util {fmt_rate(e.util_ab_bps)}/{fmt_rate(e.util_ba_bps)}"
+            f", {e.latency_s * 1000:.1f} ms"
+        )
+    return 0
+
+
+def cmd_flow(args) -> int:
+    net, dep = _build(args.scenario)
+    src, dst = _host(net, args.src), _host(net, args.dst)
+    if args.predict:
+        from repro.rps.service import RpsPredictionService
+
+        dep.modeler.prediction_service = RpsPredictionService(args.spec)
+        # build history first
+        dep.modeler.flow_query(src, dst)
+        dep.start_monitoring()
+        net.engine.run_until(net.now + 120.0)
+    ans = dep.modeler.flow_query(src, dst, predict=args.predict)
+    print(f"flow {ans.src} -> {ans.dst}")
+    print(f"  available : {fmt_rate(ans.available_bps)}")
+    print(f"  capacity  : {fmt_rate(ans.capacity_bps)}")
+    print(f"  latency   : {ans.latency_s * 1000:.1f} ms")
+    print(f"  jitter    : {ans.jitter_s * 1000:.3f} ms")
+    print(f"  path      : {' -> '.join(ans.path)}")
+    if ans.predicted_bps is not None:
+        sd = np.sqrt(max(ans.predicted_var or 0.0, 0.0))
+        print(f"  forecast  : {fmt_rate(ans.predicted_bps)} (+-{fmt_rate(sd)})")
+    return 0
+
+
+def cmd_nodes(args) -> int:
+    from repro.netsim.agents import attach_trace
+    from repro.rps.hostload import host_load_trace
+
+    net, dep = _build(args.scenario)
+    hosts = [_host(net, h) for h in args.hosts]
+    for i, h in enumerate(hosts):
+        if h.load_source is None:
+            attach_trace(h, host_load_trace(2000, seed=i), dt=1.0)
+        dep.attach_host_sensor(h, args.spec)
+    net.engine.run_until(net.now + 120.0)
+    for ans in dep.modeler.node_query(hosts, predict=True):
+        pred = (
+            f", forecast {ans.predicted_load:.2f}"
+            if ans.predicted_load is not None
+            else ""
+        )
+        print(f"{ans.ip:>16}  load {ans.load:.2f}{pred}")
+    return 0
+
+
+def cmd_models(args) -> int:
+    import time
+
+    from repro.rps.hostload import host_load_trace
+    from repro.rps.models import parse_model
+
+    trace = host_load_trace(1200, seed=0)
+    specs = ["MEAN", "LAST", "BM(32)", "AR(16)", "MA(8)",
+             "ARMA(4,4)", "ARIMA(2,1,2)", "ARFIMA(2,0)",
+             "REFIT(AR(16),300)", "EXPERTS(AR(8)+BM(8)+LAST)"]
+    print(f"{'spec':>26}  {'fit[us]':>9}  {'1-step forecast':>15}")
+    for spec in specs:
+        model = parse_model(spec)
+        t0 = time.perf_counter()
+        fitted = model.fit(trace[:600])
+        fit_us = 1e6 * (time.perf_counter() - t0)
+        fc = fitted.forecast(1)
+        print(f"{spec:>26}  {fit_us:>9.0f}  {fc.values[0]:>10.3f} +-"
+              f"{np.sqrt(fc.variances[0]):.3f}")
+    return 0
+
+
+def cmd_forecast(args) -> int:
+    from repro.rps.hostload import host_load_trace
+    from repro.rps.models import parse_model
+
+    trace = host_load_trace(args.samples + args.horizon, seed=args.seed)
+    fitted = parse_model(args.spec).fit(trace[: args.samples])
+    fc = fitted.forecast(args.horizon)
+    print(f"# {args.spec} fitted to {args.samples} synthetic load samples")
+    print(f"{'h':>3}  {'forecast':>9}  {'sd':>7}  {'actual':>7}")
+    for k in range(args.horizon):
+        print(
+            f"{k + 1:>3}  {fc.values[k]:>9.3f}  {np.sqrt(fc.variances[k]):>7.3f}"
+            f"  {trace[args.samples + k]:>7.3f}"
+        )
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Remos (HPDC 2001) reproduction: query simulated worlds",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("scenarios", help="list canned simulated worlds")
+
+    tp = sub.add_parser("topology", help="virtual topology between hosts")
+    tp.add_argument("scenario", help="scenario name or a topology .json spec")
+    tp.add_argument("hosts", nargs="+")
+    tp.add_argument("--raw", action="store_true", help="skip simplification")
+
+    fp = sub.add_parser("flow", help="bandwidth a new flow can expect")
+    fp.add_argument("scenario", help="scenario name or a topology .json spec")
+    fp.add_argument("src")
+    fp.add_argument("dst")
+    fp.add_argument("--predict", action="store_true", help="add an RPS forecast")
+    fp.add_argument("--spec", default="AR(16)", help="RPS model spec")
+
+    np_ = sub.add_parser("nodes", help="host load (current + forecast)")
+    np_.add_argument("scenario", help="scenario name or a topology .json spec")
+    np_.add_argument("hosts", nargs="+")
+    np_.add_argument("--spec", default="AR(16)")
+
+    sub.add_parser("models", help="RPS model zoo with fit costs")
+
+    fo = sub.add_parser("forecast", help="fit a model to a synthetic trace")
+    fo.add_argument("--spec", default="AR(16)")
+    fo.add_argument("--samples", type=int, default=600)
+    fo.add_argument("--horizon", type=int, default=10)
+    fo.add_argument("--seed", type=int, default=0)
+    return p
+
+
+COMMANDS = {
+    "scenarios": cmd_scenarios,
+    "topology": cmd_topology,
+    "flow": cmd_flow,
+    "nodes": cmd_nodes,
+    "models": cmd_models,
+    "forecast": cmd_forecast,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except RemosError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

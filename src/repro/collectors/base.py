@@ -1,0 +1,147 @@
+"""Collector framework: query/response types and the collector interface.
+
+All collectors answer :class:`TopologyRequest` s with
+:class:`TopologyResponse` s — per the paper, "currently only topologies
+are exchanged between the Modeler and collector"; flow answers are
+computed by the Modeler from topology.  The Benchmark Collector
+additionally serves :class:`PairMeasurement` s to the Master, which
+folds them into merged topologies as logical WAN edges.
+
+RPC latency between components is charged to the simulation engine via
+:class:`RpcCostModel`, so end-to-end query response times (Fig. 3) come
+out of the same clock as everything else.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.netsim.address import IPv4Address
+from repro.netsim.topology import Network
+
+if TYPE_CHECKING:  # avoid a package-level import cycle with repro.modeler
+    from repro.modeler.graph import TopologyGraph
+
+
+@dataclass(frozen=True)
+class TopologyRequest:
+    """Ask for the virtual topology spanning a set of host addresses.
+
+    ``anchor_ip`` optionally names a border router: the collector then
+    also discovers each host's path *to that router* ("the path between
+    a node and the edge router", §3.1.2), which is how the Master
+    stitches site fragments onto inter-site measurements.
+    """
+
+    node_ips: tuple[str, ...]
+    #: include dynamic utilization data (needs counter history)
+    include_dynamics: bool = True
+    anchor_ip: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.node_ips:
+            raise ValueError("topology request needs at least one node")
+
+    @staticmethod
+    def of(ips, anchor_ip: str | None = None) -> "TopologyRequest":
+        return TopologyRequest(
+            tuple(str(IPv4Address(ip)) for ip in ips), anchor_ip=anchor_ip
+        )
+
+
+@dataclass
+class TopologyResponse:
+    """A topology fragment plus bookkeeping about how it was obtained."""
+
+    graph: TopologyGraph
+    #: host IPs the answering collector(s) could not cover
+    unresolved: tuple[str, ...] = ()
+    #: diagnostic: SNMP PDUs spent answering
+    pdu_cost: int = 0
+    #: anchor ip -> graph node id (filled when the request had an anchor)
+    anchors: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class HistoryRequest:
+    """Ask for the measurement history of one topology edge.
+
+    ``edge_a``/``edge_b`` are graph node ids from a prior topology
+    response; rates are requested in the ``edge_a -> edge_b``
+    direction.  This is the paper's planned XML-protocol capability:
+    "the collectors will be responsible for maintaining history
+    information for each component they monitor" (§3.3/§6.2), feeding
+    RPS's client-server interface.
+    """
+
+    edge_a: str
+    edge_b: str
+    max_samples: int = 512
+
+
+@dataclass
+class HistoryResponse:
+    """A measurement series for one edge.
+
+    ``kind`` is ``"utilization"`` (link load from counters — subtract
+    from capacity to get availability) or ``"available"`` (end-to-end
+    achievable bandwidth from benchmarks — usable directly).
+    """
+
+    kind: str
+    times: tuple[float, ...]
+    rates_bps: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("utilization", "available"):
+            raise ValueError(f"bad history kind {self.kind!r}")
+        if len(self.times) != len(self.rates_bps):
+            raise ValueError("times/rates length mismatch")
+
+
+@dataclass
+class PairMeasurement:
+    """One site-to-site benchmark result."""
+
+    src_site: str
+    dst_site: str
+    throughput_bps: float
+    measured_at: float
+    #: measured round-trip time (0 when the probe method can't see it)
+    rtt_s: float = 0.0
+    stale: bool = False
+
+
+@dataclass
+class RpcCostModel:
+    """Simulated latency charged per inter-component call."""
+
+    local_s: float = 0.001  # modeler <-> master, master <-> local collectors
+    remote_s: float = 0.05  # master <-> remote collectors
+
+
+class Collector(ABC):
+    """Anything that can answer a topology query about its domain."""
+
+    def __init__(self, name: str, net: Network) -> None:
+        self.name = name
+        self.net = net
+        #: queries served (diagnostics)
+        self.queries_served = 0
+
+    @abstractmethod
+    def covers(self, ip: IPv4Address) -> bool:
+        """Is this collector responsible for the given address?"""
+
+    @abstractmethod
+    def topology(self, request: TopologyRequest) -> TopologyResponse:
+        """Answer a topology query."""
+
+    def history(self, request: HistoryRequest) -> HistoryResponse | None:
+        """Measurement history for an edge, or None if unknown here."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"

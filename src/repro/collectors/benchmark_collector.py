@@ -1,0 +1,265 @@
+"""Benchmark Collector: active end-to-end probing between sites.
+
+Where SNMP access stops (WANs, other administrative domains), Remos
+falls back to explicit benchmarking (paper §3.1.3): a Benchmark
+Collector at each site exchanges data with its peer at the remote site
+and reports the achieved throughput — the same idea as NWS.
+
+A probe here is a real fluid transfer on the simulated network: it
+competes with cross traffic under max-min sharing, takes simulated time
+proportional to its size, and is visible to SNMP counters (the
+"Benchmark Traffic" arrows in the paper's Fig. 2).  Collectors keep a
+bounded history per peer; queries are answered from cache when fresh
+(collectors "aggressively cache information"), optionally probing
+on-demand when stale.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.common.errors import QueryError
+from repro.common.units import BITS_PER_BYTE
+from repro.netsim.address import IPv4Address
+from repro.netsim.topology import Host, Network
+from repro.collectors.base import PairMeasurement
+
+
+#: probe methods, in decreasing intrusiveness (paper §6.2 asks for the
+#: lighter ones):
+#: - "bulk": a real transfer of ``probe_bytes`` (the original Remos /
+#:   NWS style); accurate, intrusive.
+#: - "packet_pair": a dispersion estimate from a couple of packet
+#:   trains; nearly free but noisy.
+#: - "one_way": single-ended (no sink at the far site): infers only the
+#:   raw bottleneck capacity, pathchar-style, and cannot see cross
+#:   traffic at all.
+PROBE_METHODS = ("bulk", "packet_pair", "one_way")
+
+
+@dataclass
+class BenchmarkConfig:
+    probe_bytes: float = 1_000_000.0  # 1 MB probe transfers
+    period_s: float = 60.0  # periodic probing interval
+    history_len: int = 128
+    #: cached results older than this are considered stale
+    max_age_s: float = 120.0
+    #: safety cap on how long one probe may run (slow links)
+    max_probe_s: float = 30.0
+    #: probe technique (see PROBE_METHODS)
+    method: str = "bulk"
+    #: relative noise of packet-pair estimates
+    packet_pair_noise: float = 0.15
+    #: bytes a packet-pair train injects
+    packet_pair_bytes: float = 3_000.0
+    #: bytes a single-ended probe injects
+    one_way_bytes: float = 1_500.0
+
+    def __post_init__(self) -> None:
+        if self.method not in PROBE_METHODS:
+            raise ValueError(f"unknown probe method {self.method!r}")
+
+
+class BenchmarkCollector:
+    """One site's benchmarking endpoint.
+
+    ``host`` is the machine the collector runs on; probes are fluid
+    transfers between this host and the peer collector's host.
+    """
+
+    def __init__(
+        self,
+        site: str,
+        net: Network,
+        host: Host,
+        config: BenchmarkConfig | None = None,
+    ) -> None:
+        self.site = site
+        self.net = net
+        self.host = host
+        self.config = config or BenchmarkConfig()
+        self.peers: dict[str, BenchmarkCollector] = {}
+        #: per-peer measurement history (oldest first)
+        self.history: dict[str, deque[PairMeasurement]] = {}
+        self.probes_run = 0
+        #: probe traffic injected into the network, in bytes
+        self.bytes_injected = 0.0
+        self._rng = None  # lazily built, seeded per collector for determinism
+        self._timer = None
+
+    # -- peering -----------------------------------------------------------
+
+    def add_peer(self, peer: "BenchmarkCollector") -> None:
+        """Register a remote site's collector (symmetric)."""
+        if peer.site == self.site:
+            raise ValueError("a site cannot peer with itself")
+        self.peers[peer.site] = peer
+        peer.peers.setdefault(self.site, self)
+        self.history.setdefault(peer.site, deque(maxlen=self.config.history_len))
+        peer.history.setdefault(self.site, deque(maxlen=peer.config.history_len))
+
+    # -- probing -----------------------------------------------------------
+
+    def probe(self, peer_site: str) -> PairMeasurement:
+        """Run one probe to a peer now (blocking, charges time).
+
+        Dispatches on the configured method; all methods record into
+        the same history and count their injected bytes so the
+        intrusiveness/accuracy trade-off is measurable.
+        """
+        if self.config.method == "bulk":
+            throughput = self._probe_bulk(peer_site)
+        elif self.config.method == "packet_pair":
+            throughput = self._probe_packet_pair(peer_site)
+        else:
+            throughput = self._probe_one_way(peer_site)
+        meas = PairMeasurement(
+            self.site, peer_site, throughput, self.net.now,
+            rtt_s=self._measure_rtt(peer_site),
+        )
+        self.history[peer_site].append(meas)
+        self.probes_run += 1
+        return meas
+
+    def _measure_rtt(self, peer_site: str) -> float:
+        """Ping-style RTT along the current path (propagation only —
+        the fluid model has no queues, so this is the floor a real
+        ping would approach)."""
+        from repro.netsim.paths import compute_path, path_latency
+
+        peer = self._peer(peer_site)
+        try:
+            path = compute_path(self.net, self.host, peer.host)
+        except Exception:
+            return 0.0
+        return 2.0 * path_latency(path)
+
+    def _probe_bulk(self, peer_site: str) -> float:
+        """A real transfer at the path's max-min rate (NWS style)."""
+        peer = self._peer(peer_site)
+        flow = self.net.flows.start_flow(
+            self.host, peer.host, label=f"bench:{self.site}->{peer_site}"
+        )
+        rate = flow.rate_bps
+        if rate <= 0:
+            self.net.flows.stop_flow(flow)
+            raise QueryError(f"no bandwidth between {self.site} and {peer_site}")
+        duration = min(
+            self.config.probe_bytes * BITS_PER_BYTE / rate, self.config.max_probe_s
+        )
+        self.net.engine.advance(duration)
+        self.net.flows.stop_flow(flow)
+        # achieved throughput: what the fluid flow actually moved
+        moved = flow.bytes_done
+        self.bytes_injected += moved
+        elapsed = (flow.end_time or 0.0) - (flow.start_time or 0.0)
+        return moved * BITS_PER_BYTE / elapsed if elapsed > 0 else rate
+
+    def _probe_packet_pair(self, peer_site: str) -> float:
+        """A dispersion estimate: momentary rate plus estimation noise.
+
+        The train occupies the path only for a blink, so concurrent
+        transfers are essentially undisturbed — the low-load probe
+        §6.2 asks for — at the cost of a noisy reading.
+        """
+        from repro.common.rng import make_rng
+        from repro.netsim.paths import path_latency
+
+        if self._rng is None:
+            self._rng = make_rng(hash(self.site) & 0xFFFF)
+        peer = self._peer(peer_site)
+        flow = self.net.flows.start_flow(
+            self.host, peer.host, label=f"pp:{self.site}->{peer_site}"
+        )
+        rate = flow.rate_bps
+        rtt = 2.0 * path_latency(flow.path)
+        self.net.engine.advance(max(4.0 * rtt, 0.01))
+        self.net.flows.stop_flow(flow)
+        self.bytes_injected += self.config.packet_pair_bytes
+        if rate <= 0:
+            raise QueryError(f"no bandwidth between {self.site} and {peer_site}")
+        noisy = rate * (1.0 + self.config.packet_pair_noise * float(self._rng.standard_normal()))
+        return max(0.05 * rate, noisy)
+
+    def _probe_one_way(self, peer_site: str) -> float:
+        """Single-ended capacity estimate (no sink required).
+
+        Pathchar-style per-hop probing sees the raw bottleneck link
+        rate but is blind to cross traffic, so it *over-estimates*
+        available bandwidth on loaded paths — the documented limitation
+        of source-only tools.
+        """
+        from repro.netsim.paths import compute_path, path_capacity, path_latency
+
+        peer = self._peer(peer_site)
+        path = compute_path(self.net, self.host, peer.host)
+        if not path:
+            raise QueryError(f"no path between {self.site} and {peer_site}")
+        # probing cost: a few RTTs per hop
+        self.net.engine.advance(max(len(path) * 4.0 * 2.0 * path_latency(path) / max(len(path), 1), 0.01))
+        self.bytes_injected += self.config.one_way_bytes
+        return path_capacity(path)
+
+    def probe_all(self) -> list[PairMeasurement]:
+        """Probe every registered peer once."""
+        return [self.probe(site) for site in sorted(self.peers)]
+
+    def start_periodic(self, stagger_s: float = 0.0) -> None:
+        """Begin periodic probing of all peers."""
+        if self._timer is None:
+            self._timer = self.net.engine.every(
+                self.config.period_s,
+                self.probe_all,
+                start=self.net.now + self.config.period_s + stagger_s,
+            )
+
+    def stop_periodic(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # -- queries ---------------------------------------------------------
+
+    def measurement(
+        self, peer_site: str, allow_probe: bool = True
+    ) -> PairMeasurement:
+        """Latest measurement for a peer; probes on demand if the cache
+        is empty or stale (and ``allow_probe``)."""
+        self._peer(peer_site)
+        hist = self.history.get(peer_site)
+        if hist:
+            latest = hist[-1]
+            age = self.net.now - latest.measured_at
+            if age <= self.config.max_age_s:
+                return latest
+            if not allow_probe:
+                return PairMeasurement(
+                    latest.src_site,
+                    latest.dst_site,
+                    latest.throughput_bps,
+                    latest.measured_at,
+                    rtt_s=latest.rtt_s,
+                    stale=True,
+                )
+        if not allow_probe:
+            raise QueryError(f"no measurement {self.site} -> {peer_site}")
+        return self.probe(peer_site)
+
+    def statistics(self, peer_site: str) -> tuple[float, float, int]:
+        """(mean, stddev, n) of historical throughput to a peer, in bps."""
+        hist = self.history.get(peer_site)
+        if not hist:
+            raise QueryError(f"no history {self.site} -> {peer_site}")
+        vals = [m.throughput_bps for m in hist]
+        n = len(vals)
+        mean = sum(vals) / n
+        var = sum((v - mean) ** 2 for v in vals) / n if n > 1 else 0.0
+        return mean, math.sqrt(var), n
+
+    def _peer(self, peer_site: str) -> "BenchmarkCollector":
+        try:
+            return self.peers[peer_site]
+        except KeyError:
+            raise QueryError(f"{self.site} has no benchmark peer {peer_site!r}") from None

@@ -1,0 +1,82 @@
+"""Collector directory: which collector is responsible for which networks.
+
+"The Master Collector maintains a database of the locations of other
+collectors and the portion of the network for which they are
+responsible" (paper §2.1); "the database used is very similar to the
+SLP directory" (§3.1.4).  This is that database: prefix-keyed service
+registrations with longest-prefix lookup, for topology collectors
+(SNMP collectors or subordinate Masters) and benchmark endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import UnknownHostError
+from repro.netsim.address import IPv4Address, IPv4Network
+from repro.collectors.base import Collector
+from repro.collectors.benchmark_collector import BenchmarkCollector
+
+
+@dataclass
+class Registration:
+    """One collector's advertisement."""
+
+    collector: Collector
+    prefixes: tuple[IPv4Network, ...]
+    #: the site label, used to pair benchmark endpoints
+    site: str
+    #: whether contacting this collector is a WAN round trip
+    remote: bool = False
+
+
+class CollectorDirectory:
+    """Prefix-indexed registry of topology and benchmark collectors."""
+
+    def __init__(self) -> None:
+        self._registrations: list[Registration] = []
+        self._benchmarks: dict[str, BenchmarkCollector] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register(
+        self,
+        collector: Collector,
+        prefixes: list[IPv4Network | str],
+        site: str,
+        remote: bool = False,
+    ) -> Registration:
+        reg = Registration(
+            collector,
+            tuple(IPv4Network(p) for p in prefixes),
+            site,
+            remote,
+        )
+        self._registrations.append(reg)
+        return reg
+
+    def register_benchmark(self, bench: BenchmarkCollector) -> None:
+        self._benchmarks[bench.site] = bench
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, ip: IPv4Address | str) -> Registration:
+        """Longest-prefix match over all registrations."""
+        ip = IPv4Address(ip)
+        best: tuple[int, Registration] | None = None
+        for reg in self._registrations:
+            for p in reg.prefixes:
+                if ip in p and (best is None or p.prefixlen > best[0]):
+                    best = (p.prefixlen, reg)
+        if best is None:
+            raise UnknownHostError(f"no collector covers {ip}")
+        return best[1]
+
+    def benchmark_for(self, site: str) -> BenchmarkCollector | None:
+        return self._benchmarks.get(site)
+
+    def registrations(self) -> list[Registration]:
+        return list(self._registrations)
+
+    def sites(self) -> list[str]:
+        return sorted({r.site for r in self._registrations})

@@ -1,0 +1,233 @@
+"""Master Collector: query partitioning, delegation, and merging.
+
+The Modeler submits one query; the Master identifies which networks —
+and therefore which collectors — are involved, splits the query,
+gathers the fragments, and returns a single merged topology "without
+revealing that the response was obtained from multiple collectors"
+(paper §2.1, §3.1.4).
+
+* Every queried address is mapped to a registration in the
+  :class:`~repro.collectors.directory.CollectorDirectory` (the SLP-like
+  database).
+* A site's fragment is requested from its topology collector with the
+  site's border router as *anchor*, so the fragment reaches the site
+  edge.
+* Cross-site connectivity comes from Benchmark Collector measurements:
+  each involved site pair contributes one logical edge between the two
+  border routers whose capacity is the measured end-to-end throughput.
+* Masters are themselves collectors, so they stack: a remote "Master"
+  registered here answers for its whole site mesh (the paper's
+  master-of-masters arrangement).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.common.errors import QueryError, UnknownHostError
+from repro.netsim.address import IPv4Address, IPv4Network
+from repro.netsim.topology import Network
+from repro.collectors.base import (
+    Collector,
+    HistoryRequest,
+    HistoryResponse,
+    RpcCostModel,
+    TopologyRequest,
+    TopologyResponse,
+)
+from repro.collectors.directory import CollectorDirectory, Registration
+from repro.modeler.graph import TopoEdge, TopoNode, TopologyGraph
+
+
+class MasterCollector(Collector):
+    """See module docstring."""
+
+    def __init__(
+        self,
+        name: str,
+        net: Network,
+        directory: CollectorDirectory,
+        #: site border anchors: site -> border router address
+        borders: dict[str, IPv4Address] | None = None,
+        rpc_cost: RpcCostModel | None = None,
+    ) -> None:
+        super().__init__(name, net)
+        self.directory = directory
+        self.borders = {k: IPv4Address(v) for k, v in (borders or {}).items()}
+        self.rpc = rpc_cost or RpcCostModel()
+        #: anchor node id -> site, learned from past stitched queries,
+        #: so history requests can recognise logical WAN edges
+        self._anchor_sites: dict[str, str] = {}
+
+    def covers(self, ip: IPv4Address) -> bool:
+        try:
+            self.directory.lookup(ip)
+            return True
+        except UnknownHostError:
+            return False
+
+    def topology(self, request: TopologyRequest) -> TopologyResponse:
+        self.queries_served += 1
+        # 1. Partition addresses by responsible registration.
+        groups: dict[int, list[str]] = defaultdict(list)
+        regs: dict[int, Registration] = {}
+        unresolved: list[str] = []
+        for ip_s in request.node_ips:
+            try:
+                reg = self.directory.lookup(ip_s)
+            except UnknownHostError:
+                unresolved.append(ip_s)
+                continue
+            groups[id(reg)].append(ip_s)
+            regs[id(reg)] = reg
+
+        merged = TopologyGraph()
+        anchors: dict[str, str] = {}
+        site_anchor_node: dict[str, str] = {}
+        pdu_cost = 0
+        multi_site = len(groups) > 1
+
+        # 2. Delegate each group to its collector.
+        for key in sorted(groups, key=lambda k: regs[k].site):
+            reg = regs[key]
+            ips = groups[key]
+            self.net.engine.advance(self.rpc.remote_s if reg.remote else self.rpc.local_s)
+            anchor = None
+            if multi_site and reg.site in self.borders:
+                anchor = str(self.borders[reg.site])
+            sub = reg.collector.topology(
+                TopologyRequest(
+                    tuple(ips),
+                    include_dynamics=request.include_dynamics,
+                    anchor_ip=anchor,
+                )
+            )
+            merged.merge(sub.graph)
+            unresolved.extend(sub.unresolved)
+            pdu_cost += sub.pdu_cost
+            anchors.update(sub.anchors)
+            if anchor is not None and anchor in sub.anchors:
+                site_anchor_node[reg.site] = sub.anchors[anchor]
+                self._anchor_sites[sub.anchors[anchor]] = reg.site
+
+        # 3. Stitch sites together with benchmark measurements.
+        if multi_site:
+            sites = sorted(site_anchor_node)
+            for i in range(len(sites)):
+                for j in range(i + 1, len(sites)):
+                    a_site, b_site = sites[i], sites[j]
+                    self._add_wan_edge(
+                        merged,
+                        a_site,
+                        site_anchor_node[a_site],
+                        b_site,
+                        site_anchor_node[b_site],
+                    )
+
+        return TopologyResponse(
+            graph=merged,
+            unresolved=tuple(dict.fromkeys(unresolved)),
+            pdu_cost=pdu_cost,
+            anchors=anchors,
+        )
+
+    def _measure_direction(self, src_site: str, dst_site: str):
+        """Benchmark measurement src -> dst, if a collector provides it."""
+        bench = self.directory.benchmark_for(src_site)
+        if bench is None or dst_site not in bench.peers:
+            return None
+        self.net.engine.advance(self.rpc.local_s)
+        try:
+            return bench.measurement(dst_site)
+        except QueryError:
+            return None
+
+    def _add_wan_edge(
+        self,
+        graph: TopologyGraph,
+        a_site: str,
+        a_node: str,
+        b_site: str,
+        b_node: str,
+    ) -> None:
+        """One logical edge carrying the measured site-to-site bandwidth.
+
+        Bandwidth is direction-specific (access links are loaded
+        asymmetrically), so both directions are measured and encoded as
+        directional utilization on the logical edge: the residual seen
+        from each end equals that direction's measured throughput.
+        """
+        m_ab = self._measure_direction(a_site, b_site)
+        m_ba = self._measure_direction(b_site, a_site)
+        if m_ab is None and m_ba is None:
+            return  # no measurement available: sites stay unstitched
+        ab = m_ab.throughput_bps if m_ab else m_ba.throughput_bps
+        ba = m_ba.throughput_bps if m_ba else m_ab.throughput_bps
+        rtts = [m.rtt_s for m in (m_ab, m_ba) if m is not None and m.rtt_s > 0]
+        latency = max(rtts) / 2.0 if rtts else 0.05
+        if not graph.has_node(a_node) or not graph.has_node(b_node):
+            return
+        cap = max(ab, ba)
+        graph.add_edge(
+            TopoEdge(
+                a_node,
+                b_node,
+                capacity_bps=cap,
+                util_ab_bps=cap - ab,
+                util_ba_bps=cap - ba,
+                latency_s=latency,
+            )
+        )
+
+    def history(self, request: HistoryRequest) -> HistoryResponse | None:
+        """Measurement history for an edge: delegate to whichever
+        collector monitors it, or serve benchmark history for logical
+        WAN edges between site anchors."""
+        # logical WAN edge between two known site anchors?
+        a_site = self._anchor_sites.get(request.edge_a)
+        b_site = self._anchor_sites.get(request.edge_b)
+        if a_site and b_site and a_site != b_site:
+            bench = self.directory.benchmark_for(a_site)
+            if bench is not None and b_site in bench.peers:
+                self.net.engine.advance(self.rpc.local_s)
+                hist = bench.history.get(b_site)
+                if hist:
+                    n = min(request.max_samples, len(hist))
+                    recent = list(hist)[-n:]
+                    return HistoryResponse(
+                        "available",
+                        tuple(m.measured_at for m in recent),
+                        tuple(m.throughput_bps for m in recent),
+                    )
+            return None
+        for reg in self.directory.registrations():
+            self.net.engine.advance(self.rpc.remote_s if reg.remote else self.rpc.local_s)
+            resp = reg.collector.history(request)
+            if resp is not None:
+                return resp
+        return None
+
+    def forecast_edge(self, request: HistoryRequest, horizon: int):
+        """Streaming forecast from whichever collector predicts the
+        edge (the §2.3 shared-prediction path); None when no streaming
+        predictor covers it."""
+        for reg in self.directory.registrations():
+            fn = getattr(reg.collector, "forecast_edge", None)
+            if fn is None:
+                continue
+            self.net.engine.advance(
+                self.rpc.remote_s if reg.remote else self.rpc.local_s
+            )
+            out = fn(request, horizon)
+            if out is not None:
+                return out
+        return None
+
+    # -- site statistics (Table 1 support) ------------------------------
+
+    def site_bandwidth_stats(self, from_site: str, to_site: str) -> tuple[float, float, int]:
+        """(mean, stddev, n) of benchmark history between two sites."""
+        bench = self.directory.benchmark_for(from_site)
+        if bench is None:
+            raise QueryError(f"no benchmark collector at {from_site}")
+        return bench.statistics(to_site)

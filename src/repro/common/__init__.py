@@ -1,0 +1,35 @@
+"""Shared utilities: units, errors, and deterministic RNG helpers."""
+
+from repro.common.errors import (
+    RemosError,
+    QueryError,
+    SnmpError,
+    TopologyError,
+    PredictionError,
+)
+from repro.common.units import (
+    BITS_PER_BYTE,
+    KBPS,
+    MBPS,
+    GBPS,
+    mbps,
+    to_mbps,
+    fmt_rate,
+)
+from repro.common.rng import make_rng
+
+__all__ = [
+    "RemosError",
+    "QueryError",
+    "SnmpError",
+    "TopologyError",
+    "PredictionError",
+    "BITS_PER_BYTE",
+    "KBPS",
+    "MBPS",
+    "GBPS",
+    "mbps",
+    "to_mbps",
+    "fmt_rate",
+    "make_rng",
+]

@@ -1,0 +1,21 @@
+"""Deterministic random number generation.
+
+Experiments must be reproducible run-to-run, so every stochastic
+component takes an explicit seed or an already-constructed generator.
+``make_rng`` normalises the two spellings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a numpy Generator from a seed, a Generator, or None.
+
+    Passing an existing Generator returns it unchanged so call sites can
+    thread one generator through a pipeline of components.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,52 @@
+"""Rate and size units.
+
+All internal rates are in **bits per second** and all sizes in
+**bytes**, matching what SNMP interface counters expose (ifSpeed is in
+bits/s, ifInOctets/ifOutOctets count bytes).  The helpers here keep
+conversions explicit at module boundaries so the two never mix
+silently.
+"""
+
+from __future__ import annotations
+
+BITS_PER_BYTE = 8
+
+#: One kilobit per second, in bits/s.
+KBPS = 1_000.0
+#: One megabit per second, in bits/s.
+MBPS = 1_000_000.0
+#: One gigabit per second, in bits/s.
+GBPS = 1_000_000_000.0
+
+
+def mbps(x: float) -> float:
+    """Convert megabits/s to the internal bits/s representation."""
+    return x * MBPS
+
+
+def to_mbps(rate_bps: float) -> float:
+    """Convert an internal bits/s rate to megabits/s."""
+    return rate_bps / MBPS
+
+
+def bytes_for(rate_bps: float, seconds: float) -> float:
+    """Bytes transferred at ``rate_bps`` over ``seconds``."""
+    return rate_bps * seconds / BITS_PER_BYTE
+
+
+def seconds_for(nbytes: float, rate_bps: float) -> float:
+    """Time to move ``nbytes`` at ``rate_bps``; ``inf`` if the rate is 0."""
+    if rate_bps <= 0.0:
+        return float("inf")
+    return nbytes * BITS_PER_BYTE / rate_bps
+
+
+def fmt_rate(rate_bps: float) -> str:
+    """Human-readable rate, e.g. ``'4.11 Mbps'``."""
+    if rate_bps >= GBPS:
+        return f"{rate_bps / GBPS:.2f} Gbps"
+    if rate_bps >= MBPS:
+        return f"{rate_bps / MBPS:.2f} Mbps"
+    if rate_bps >= KBPS:
+        return f"{rate_bps / KBPS:.2f} Kbps"
+    return f"{rate_bps:.0f} bps"

@@ -1,0 +1,369 @@
+"""The Modeler: the Remos API exposed to applications.
+
+"The Remos API, which is exposed to applications, is implemented only
+in the Modeler" (paper §2).  Applications ask two kinds of questions:
+
+* :meth:`Modeler.topology_query` — the virtual topology spanning a set
+  of hosts, simplified (pruned, chains collapsed to virtual switches)
+  unless raw output is requested.
+* :meth:`Modeler.flow_query` — the bandwidth a new flow (or a set of
+  flows, e.g. a collective application's communication pattern) can
+  expect, from max-min calculations on the collector topology.
+
+The Modeler talks only to its Master Collector, and acts as the
+intermediary to the prediction service: with ``predict=True`` a flow
+query returns the RPS forecast of the bottleneck link's available
+bandwidth instead of the last measurement (§2.3, §3.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.common.errors import QueryError
+from repro.netsim.address import IPv4Address
+from repro.netsim.topology import Host, Network
+from repro.collectors.base import Collector, RpcCostModel, TopologyRequest
+from repro.modeler.graph import TopologyGraph
+from repro.modeler.maxmin import FlowPrediction, predict_flows
+from repro.modeler.simplify import simplify
+
+
+class PredictionService(Protocol):
+    """What the Modeler needs from RPS (see repro.rps.service)."""
+
+    def predict_series(
+        self, values: np.ndarray, horizon: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Forecast ``horizon`` steps ahead: (predictions, error variances)."""
+        ...
+
+
+@dataclass
+class FlowAnswer:
+    """What a flow query returns to the application."""
+
+    src: str
+    dst: str
+    #: bandwidth a new flow can expect now (max-min on measured residuals)
+    available_bps: float
+    #: residual bandwidth of the tightest link
+    bottleneck_bps: float
+    #: raw path capacity
+    capacity_bps: float
+    latency_s: float
+    #: delay-variation estimate for the path (0 without history)
+    jitter_s: float
+    path: tuple[str, ...]
+    #: RPS forecast of available bandwidth (None unless predict=True)
+    predicted_bps: float | None = None
+    #: forecast error variance (None unless predict=True)
+    predicted_var: float | None = None
+
+
+@dataclass
+class NodeAnswer:
+    """What a node (compute-resource) query returns.
+
+    The Remos API covers compute nodes as well as the network (the
+    query interface of Lowekamp et al., ref [17]); load data flows from
+    RPS host-load sensors rather than the collectors.
+    """
+
+    ip: str
+    #: current load average (None if no sensor covers the host)
+    load: float | None
+    #: RPS forecast of the load (None unless predict=True and a
+    #: streaming predictor runs on the host)
+    predicted_load: float | None = None
+    predicted_var: float | None = None
+
+
+def _ip_of(host) -> str:
+    """Accept Host objects, IPv4Address, or strings."""
+    if isinstance(host, Host):
+        return str(host.ip)
+    return str(IPv4Address(host))
+
+
+class Modeler:
+    """One application's window into Remos."""
+
+    def __init__(
+        self,
+        master: Collector,
+        net: Network,
+        rpc_cost: RpcCostModel | None = None,
+        prediction_service: "PredictionService | None" = None,
+        history_provider=None,
+    ) -> None:
+        self.master = master
+        self.net = net
+        self.rpc = rpc_cost or RpcCostModel()
+        self.prediction_service = prediction_service
+        #: callable (edge a, edge b) -> np.ndarray of rate history, used
+        #: for predictive flow queries (see repro.deploy)
+        self.history_provider = history_provider
+        #: callable (ip str) -> (load or None, StreamingPredictor or None),
+        #: wired by the deployment for node queries
+        self.node_info_provider = None
+        self.queries_made = 0
+
+    # -- topology ------------------------------------------------------
+
+    def topology_query(
+        self,
+        hosts,
+        simplified: bool = True,
+        include_dynamics: bool = True,
+        detail: str | None = None,
+    ) -> TopologyGraph:
+        """The virtual topology spanning ``hosts``.
+
+        ``detail`` selects how much structure the application sees —
+        "an appropriate level of detail … without swamping the
+        application" (§1):
+
+        * ``"raw"`` — everything the collectors discovered.
+        * ``"simplified"`` (default) — pruned, degree-2 chains collapsed
+          into virtual switches; flow answers unchanged.
+        * ``"summary"`` — only the queried hosts, pairwise logical edges
+          carrying each pair's bottleneck availability/latency/jitter.
+        """
+        if detail is None:
+            detail = "simplified" if simplified else "raw"
+        if detail not in ("raw", "simplified", "summary"):
+            raise QueryError(f"unknown detail level {detail!r}")
+        ips = [_ip_of(h) for h in hosts]
+        graph = self._fetch(ips, include_dynamics)
+        if detail == "raw":
+            return graph
+        if detail == "simplified":
+            return simplify(graph, protect=set(ips))
+        return self._summarize(graph, ips)
+
+    @staticmethod
+    def _summarize(graph: TopologyGraph, ips: list[str]) -> TopologyGraph:
+        """Hosts only, with per-pair logical edges (bottleneck view)."""
+        from repro.common.errors import TopologyError
+        from repro.modeler.graph import HOST, TopoEdge, TopoNode
+
+        out = TopologyGraph()
+        present = [ip for ip in ips if graph.has_node(ip)]
+        for ip in present:
+            out.add_node(TopoNode(ip, HOST, (ip,)))
+        for i in range(len(present)):
+            for j in range(i + 1, len(present)):
+                a, b = present[i], present[j]
+                try:
+                    edges = graph.path_edges(a, b)
+                except TopologyError:
+                    continue
+                nodes = graph.path(a, b)
+                avail_ab = min(
+                    e.available_from(x) for e, x in zip(edges, nodes[:-1])
+                )
+                avail_ba = min(
+                    e.available_from(y) for e, y in zip(edges, nodes[1:])
+                )
+                cap = min(e.capacity_bps for e in edges)
+                latency = sum(e.latency_s for e in edges)
+                jitter = math.sqrt(sum(e.jitter_s**2 for e in edges))
+                out.add_edge(
+                    TopoEdge(
+                        a, b, cap,
+                        max(0.0, cap - avail_ab),
+                        max(0.0, cap - avail_ba),
+                        latency, jitter,
+                    )
+                )
+        return out
+
+    # -- flows ------------------------------------------------------------
+
+    def flow_query(
+        self,
+        src,
+        dst,
+        predict: bool = False,
+        horizon_steps: int = 1,
+    ) -> FlowAnswer:
+        """Expected bandwidth for one new flow src -> dst."""
+        return self.flow_queries([(src, dst)], predict, horizon_steps)[0]
+
+    def flow_queries(
+        self,
+        pairs,
+        predict: bool = False,
+        horizon_steps: int = 1,
+        own_flows=None,
+    ) -> list[FlowAnswer]:
+        """Expected bandwidth for a set of simultaneous new flows.
+
+        The flows are allocated jointly (max-min), so two requested
+        flows sharing a bottleneck split it — what a collective
+        application needs to know.
+
+        ``own_flows`` optionally declares the application's *existing*
+        traffic as ``(src, dst, rate_bps)`` triples.  Measured
+        utilization includes that traffic, so without the declaration a
+        long-running application asking about its own path sees its own
+        load as "someone else's" and under-estimates what it could get
+        (the self-interference trap).  Declared rates are credited back
+        to the edges along each declared flow's path before the max-min
+        calculation.
+        """
+        ip_pairs = [(_ip_of(s), _ip_of(d)) for s, d in pairs]
+        own = [
+            (_ip_of(s), _ip_of(d), float(rate)) for s, d, rate in (own_flows or [])
+        ]
+        involved = sorted(
+            {ip for pair in ip_pairs for ip in pair}
+            | {ip for s, d, _ in own for ip in (s, d)}
+        )
+        graph = self._fetch(involved, include_dynamics=True)
+        if own:
+            self._credit_own_flows(graph, own)
+        preds = predict_flows(graph, ip_pairs)
+        answers = [self._to_answer(p) for p in preds]
+        if predict:
+            for ans in answers:
+                self._attach_prediction(graph, ans, horizon_steps)
+        return answers
+
+    @staticmethod
+    def _credit_own_flows(graph: TopologyGraph, own) -> None:
+        """Subtract the application's declared traffic from measured
+        utilization along each declared flow's path."""
+        from repro.common.errors import TopologyError
+
+        for src, dst, rate in own:
+            try:
+                nodes = graph.path(src, dst)
+            except TopologyError:
+                continue  # declared flow not on this topology: ignore
+            for a, b in zip(nodes, nodes[1:]):
+                e = graph.edge(a, b)
+                if a == e.a:
+                    e.util_ab_bps = max(0.0, e.util_ab_bps - rate)
+                else:
+                    e.util_ba_bps = max(0.0, e.util_ba_bps - rate)
+
+    # -- nodes ---------------------------------------------------------
+
+    def node_query(
+        self, hosts, predict: bool = False, horizon_steps: int = 1
+    ) -> list[NodeAnswer]:
+        """Current (and optionally forecast) load of compute nodes."""
+        if self.node_info_provider is None:
+            raise QueryError("no node information provider configured")
+        answers: list[NodeAnswer] = []
+        for h in hosts:
+            ip = _ip_of(h)
+            self.net.engine.advance(self.rpc.local_s)
+            load, predictor = self.node_info_provider(ip)
+            ans = NodeAnswer(ip, load)
+            if predict and predictor is not None:
+                fc = predictor.forecast()
+                k = min(horizon_steps, fc.values.size)
+                if k >= 1:
+                    ans.predicted_load = float(fc.values[k - 1])
+                    ans.predicted_var = float(fc.variances[k - 1])
+            answers.append(ans)
+        return answers
+
+    # -- internals ----------------------------------------------------------
+
+    def _fetch(self, ips: list[str], include_dynamics: bool) -> TopologyGraph:
+        self.queries_made += 1
+        self.net.engine.advance(self.rpc.local_s)
+        resp = self.master.topology(
+            TopologyRequest(tuple(ips), include_dynamics=include_dynamics)
+        )
+        missing = [ip for ip in ips if ip in resp.unresolved]
+        if missing:
+            raise QueryError(f"hosts not covered by any collector: {missing}")
+        return resp.graph
+
+    @staticmethod
+    def _to_answer(p: FlowPrediction) -> FlowAnswer:
+        return FlowAnswer(
+            p.src, p.dst, p.rate_bps, p.bottleneck_bps, p.capacity_bps,
+            p.latency_s, p.jitter_s, p.path,
+        )
+
+    def _attach_prediction(
+        self, graph: TopologyGraph, ans: FlowAnswer, horizon_steps: int
+    ) -> None:
+        """Forecast the bottleneck edge's available bandwidth via RPS.
+
+        History comes from the collectors through the Master's history
+        interface (the paper's planned XML-protocol path); a local
+        ``history_provider`` hook serves as fallback for deployments
+        whose master predates the interface.
+        """
+        if self.prediction_service is None:
+            raise QueryError("no prediction service configured")
+        # Find the tightest edge on the path and its rate history.
+        best: tuple[float, str, str] | None = None
+        for a, b in zip(ans.path, ans.path[1:]):
+            e = graph.edge(a, b)
+            avail = e.available_from(a)
+            if best is None or avail < best[0]:
+                best = (avail, a, b)
+        if best is None:
+            return
+        _, a, b = best
+        # Streaming predictors at the collectors answer without a fit
+        # (§2.3's amortized path); fall back to history + client-server.
+        forecast_fn = getattr(self.master, "forecast_edge", None)
+        if callable(forecast_fn):
+            from repro.collectors.base import HistoryRequest
+
+            self.net.engine.advance(self.rpc.local_s)
+            out = forecast_fn(HistoryRequest(a, b), horizon_steps)
+            if out is not None:
+                preds, variances = out
+                cap = graph.edge(a, b).capacity_bps
+                predicted_util = float(preds[-1])
+                ans.predicted_bps = (
+                    max(0.0, min(cap, cap - predicted_util))
+                    if math.isfinite(cap)
+                    else math.inf
+                )
+                ans.predicted_var = float(variances[-1])
+                return
+        kind = "utilization"
+        hist: np.ndarray | None = None
+        history_fn = getattr(self.master, "history", None)
+        if callable(history_fn):
+            from repro.collectors.base import HistoryRequest
+
+            self.net.engine.advance(self.rpc.local_s)
+            resp = history_fn(HistoryRequest(a, b))
+            if resp is not None:
+                kind = resp.kind
+                hist = np.asarray(resp.rates_bps, dtype=float)
+        if (hist is None or hist.size < 8) and self.history_provider is not None:
+            fallback = self.history_provider(a, b)
+            if fallback is not None:
+                kind = "utilization"
+                hist = np.asarray(fallback, dtype=float)
+        if hist is None or hist.size < 8:
+            return  # not enough history: leave prediction unset
+        preds, variances = self.prediction_service.predict_series(hist, horizon_steps)
+        if kind == "available":
+            ans.predicted_bps = max(0.0, float(preds[-1]))
+        else:
+            cap = graph.edge(a, b).capacity_bps
+            predicted_util = float(preds[-1])
+            ans.predicted_bps = (
+                max(0.0, min(cap, cap - predicted_util))
+                if math.isfinite(cap)
+                else math.inf
+            )
+        ans.predicted_var = float(variances[-1])

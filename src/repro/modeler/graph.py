@@ -1,0 +1,196 @@
+"""The virtual topology graph exchanged between Remos components.
+
+Collectors answer queries with a :class:`TopologyGraph`: typed nodes
+(hosts, routers, switches, *virtual* switches for shared or opaque
+segments, WAN clouds) and annotated edges (capacity, per-direction
+measured utilization, latency).  The Master Collector merges fragments
+from several collectors into one graph; the Modeler simplifies it and
+runs max-min flow calculations on it.
+
+This is "a standard graph format" in the paper's words — the one
+concrete data structure the whole architecture communicates with.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.common.errors import TopologyError
+
+#: node kinds
+HOST = "host"
+ROUTER = "router"
+SWITCH = "switch"
+VSWITCH = "vswitch"  # virtual switch: shared Ethernet or opaque devices
+CLOUD = "cloud"  # opaque WAN interconnect
+
+
+@dataclass
+class TopoNode:
+    """A vertex: ``id`` is globally unique (host IP or device name)."""
+
+    id: str
+    kind: str
+    ips: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in (HOST, ROUTER, SWITCH, VSWITCH, CLOUD):
+            raise TopologyError(f"bad node kind {self.kind!r}")
+
+
+@dataclass
+class TopoEdge:
+    """An undirected edge with per-direction utilization.
+
+    ``util_ab_bps`` is measured traffic from ``a`` toward ``b``.
+    ``capacity_bps`` may be ``inf`` for virtual elements whose capacity
+    is unknown (e.g. through a virtual switch).  ``jitter_s`` is the
+    collector's delay-variation estimate (§6.2's multimedia metric);
+    0 when no utilization history exists yet.
+    """
+
+    a: str
+    b: str
+    capacity_bps: float = math.inf
+    util_ab_bps: float = 0.0
+    util_ba_bps: float = 0.0
+    latency_s: float = 0.0
+    jitter_s: float = 0.0
+
+    def key(self) -> tuple[str, str]:
+        return (self.a, self.b) if self.a <= self.b else (self.b, self.a)
+
+    def util_from(self, node_id: str) -> float:
+        if node_id == self.a:
+            return self.util_ab_bps
+        if node_id == self.b:
+            return self.util_ba_bps
+        raise TopologyError(f"{node_id} not on edge {self.a}--{self.b}")
+
+    def available_from(self, node_id: str) -> float:
+        """Residual capacity leaving ``node_id`` over this edge."""
+        return max(0.0, self.capacity_bps - self.util_from(node_id))
+
+
+class TopologyGraph:
+    """Nodes + edges with merge, path, and bottleneck operations."""
+
+    def __init__(self) -> None:
+        self._g = nx.Graph()
+
+    # -- construction --------------------------------------------------
+
+    def add_node(self, node: TopoNode) -> TopoNode:
+        """Add a node; merging kinds/IPs if it already exists."""
+        existing: TopoNode | None = self._g.nodes.get(node.id, {}).get("data")
+        if existing is not None:
+            ips = tuple(dict.fromkeys(existing.ips + node.ips))
+            merged = TopoNode(node.id, existing.kind, ips)
+            self._g.nodes[node.id]["data"] = merged
+            return merged
+        self._g.add_node(node.id, data=node)
+        return node
+
+    def add_edge(self, edge: TopoEdge) -> TopoEdge:
+        """Add an edge; both endpoints must exist.  Re-adding replaces
+        annotations (latest measurement wins)."""
+        for end in (edge.a, edge.b):
+            if end not in self._g:
+                raise TopologyError(f"edge endpoint {end!r} not in graph")
+        a, b = edge.key()
+        self._g.add_edge(a, b, data=edge)
+        return edge
+
+    def merge(self, other: "TopologyGraph") -> None:
+        """Fold another fragment into this graph in place."""
+        for n in other.nodes():
+            self.add_node(n)
+        for e in other.edges():
+            self.add_edge(e)
+
+    # -- access --------------------------------------------------------
+
+    def node(self, node_id: str) -> TopoNode:
+        try:
+            return self._g.nodes[node_id]["data"]
+        except KeyError:
+            raise TopologyError(f"no node {node_id!r}") from None
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._g
+
+    def edge(self, a: str, b: str) -> TopoEdge:
+        try:
+            return self._g.edges[a, b]["data"]
+        except KeyError:
+            raise TopologyError(f"no edge {a!r}--{b!r}") from None
+
+    def has_edge(self, a: str, b: str) -> bool:
+        return self._g.has_edge(a, b)
+
+    def nodes(self) -> list[TopoNode]:
+        return [self._g.nodes[n]["data"] for n in sorted(self._g.nodes)]
+
+    def edges(self) -> list[TopoEdge]:
+        return [d["data"] for _, _, d in sorted(self._g.edges(data=True), key=lambda t: (t[0], t[1]))]
+
+    def neighbors(self, node_id: str) -> list[str]:
+        return sorted(self._g.neighbors(node_id))
+
+    def degree(self, node_id: str) -> int:
+        return self._g.degree(node_id)
+
+    def __len__(self) -> int:
+        return self._g.number_of_nodes()
+
+    def num_edges(self) -> int:
+        return self._g.number_of_edges()
+
+    def remove_node(self, node_id: str) -> None:
+        self._g.remove_node(node_id)
+
+    # -- path operations -------------------------------------------------
+
+    def path(self, a: str, b: str) -> list[str]:
+        """Shortest node path between two node ids."""
+        try:
+            return nx.shortest_path(self._g, a, b)
+        except (nx.NodeNotFound, nx.NetworkXNoPath):
+            raise TopologyError(f"no path {a!r} -> {b!r}") from None
+
+    def path_edges(self, a: str, b: str) -> list[TopoEdge]:
+        nodes = self.path(a, b)
+        return [self.edge(x, y) for x, y in zip(nodes, nodes[1:])]
+
+    def bottleneck_available(self, a: str, b: str) -> float:
+        """Residual bandwidth for a new flow a -> b along the shortest
+        path: min over edges of (capacity - utilization in the flow's
+        direction)."""
+        nodes = self.path(a, b)
+        best = math.inf
+        for x, y in zip(nodes, nodes[1:]):
+            e = self.edge(x, y)
+            best = min(best, e.available_from(x))
+        return best
+
+    def path_latency(self, a: str, b: str) -> float:
+        return sum(e.latency_s for e in self.path_edges(a, b))
+
+    def copy(self) -> "TopologyGraph":
+        out = TopologyGraph()
+        for n in self.nodes():
+            out.add_node(TopoNode(n.id, n.kind, n.ips))
+        for e in self.edges():
+            out.add_edge(
+                TopoEdge(
+                    e.a, e.b, e.capacity_bps, e.util_ab_bps, e.util_ba_bps,
+                    e.latency_s, e.jitter_s,
+                )
+            )
+        return out
+
+    def __repr__(self) -> str:
+        return f"TopologyGraph({len(self)} nodes, {self.num_edges()} edges)"

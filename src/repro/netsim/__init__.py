@@ -1,0 +1,93 @@
+"""Discrete-event network simulation substrate.
+
+The ground-truth world the Remos collectors observe: an event engine,
+device/link topology with per-interface octet counters, L3 routing, L2
+spanning trees with forwarding databases, max-min fair fluid flows, and
+traffic generators.
+"""
+
+from repro.netsim.address import IPv4Address, IPv4Network, MacAddress
+from repro.netsim.engine import Engine, Timer
+from repro.netsim.topology import (
+    Channel,
+    Host,
+    Hub,
+    Interface,
+    Link,
+    Network,
+    Node,
+    Router,
+    Switch,
+)
+from repro.netsim.flows import Flow, FlowManager, max_min_allocation
+from repro.netsim.paths import compute_path, path_capacity, path_latency
+from repro.netsim.traffic import (
+    BurstTraffic,
+    CbrTraffic,
+    FileTransfer,
+    ParetoOnOffTraffic,
+    RandomWalkTraffic,
+)
+from repro.netsim.builders import (
+    Campus,
+    Dumbbell,
+    HubLan,
+    Site,
+    SiteSpec,
+    SwitchedLan,
+    WanWorld,
+    WirelessLan,
+    build_campus,
+    build_dumbbell,
+    build_hub_lan,
+    build_multisite_wan,
+    build_switched_lan,
+    build_wireless_lan,
+)
+from repro.netsim.failures import fail_link, repair_link
+from repro.netsim.mobility import rehome_host
+
+__all__ = [
+    "IPv4Address",
+    "IPv4Network",
+    "MacAddress",
+    "Engine",
+    "Timer",
+    "Channel",
+    "Host",
+    "Hub",
+    "Interface",
+    "Link",
+    "Network",
+    "Node",
+    "Router",
+    "Switch",
+    "Flow",
+    "FlowManager",
+    "max_min_allocation",
+    "compute_path",
+    "path_capacity",
+    "path_latency",
+    "BurstTraffic",
+    "CbrTraffic",
+    "FileTransfer",
+    "ParetoOnOffTraffic",
+    "RandomWalkTraffic",
+    "Campus",
+    "Dumbbell",
+    "HubLan",
+    "Site",
+    "SiteSpec",
+    "SwitchedLan",
+    "WanWorld",
+    "WirelessLan",
+    "build_campus",
+    "build_dumbbell",
+    "build_hub_lan",
+    "build_multisite_wan",
+    "build_switched_lan",
+    "build_wireless_lan",
+    "fail_link",
+    "repair_link",
+    "rehome_host",
+]

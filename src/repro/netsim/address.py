@@ -1,0 +1,254 @@
+"""Minimal IPv4 addressing.
+
+A from-scratch, integer-backed IPv4 implementation: enough for routing
+table longest-prefix match, SNMP OID suffix encoding, and the network
+partitioning the Master Collector performs.  (We do not use the stdlib
+``ipaddress`` module: these objects are created in bulk during topology
+construction and route discovery, and need to be cheap, hashable, and
+directly convertible to OID index tuples.)
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+
+
+def _parse_dotted(s: str) -> int:
+    parts = s.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"bad IPv4 address {s!r}")
+    value = 0
+    for p in parts:
+        b = int(p)
+        if not 0 <= b <= 255:
+            raise ValueError(f"bad IPv4 octet {p!r} in {s!r}")
+        value = (value << 8) | b
+    return value
+
+
+@total_ordering
+class IPv4Address:
+    """An IPv4 address backed by a single int.
+
+    Supports ordering, hashing, string round-trips, and conversion to
+    the 4-int tuple SNMP uses to index table rows by address.  The
+    dotted-quad form is memoised: collectors stringify addresses on
+    every cache lookup, millions of times per large query.
+    """
+
+    __slots__ = ("_value", "_str")
+
+    def __init__(self, addr: "int | str | IPv4Address") -> None:
+        self._str: str | None = None
+        if isinstance(addr, IPv4Address):
+            self._value = addr._value
+            self._str = addr._str
+        elif isinstance(addr, int):
+            if not 0 <= addr <= 0xFFFFFFFF:
+                raise ValueError(f"IPv4 int out of range: {addr}")
+            self._value = addr
+        elif isinstance(addr, str):
+            # not memoised from input: "010.1.2.3" parses but is not canonical
+            self._value = _parse_dotted(addr)
+        else:
+            raise TypeError(f"cannot make IPv4Address from {type(addr).__name__}")
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def octets(self) -> tuple[int, int, int, int]:
+        """The four octets, most significant first (the SNMP row index)."""
+        v = self._value
+        return ((v >> 24) & 0xFF, (v >> 16) & 0xFF, (v >> 8) & 0xFF, v & 0xFF)
+
+    def __str__(self) -> str:
+        if self._str is None:
+            self._str = ".".join(str(o) for o in self.octets())
+        return self._str
+
+    def __repr__(self) -> str:
+        return f"IPv4Address({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv4Address):
+            return self._value == other._value
+        return NotImplemented
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        if isinstance(other, IPv4Address):
+            return self._value < other._value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __int__(self) -> int:
+        return self._value
+
+
+@total_ordering
+class IPv4Network:
+    """A CIDR prefix, e.g. ``IPv4Network("10.1.2.0/24")``.
+
+    Ordering sorts by (network address, prefix length) so more-specific
+    prefixes with the same base sort after shorter ones.
+    """
+
+    __slots__ = ("_net", "_prefixlen")
+
+    def __init__(self, spec: "str | IPv4Network", prefixlen: int | None = None) -> None:
+        if isinstance(spec, IPv4Network):
+            self._net, self._prefixlen = spec._net, spec._prefixlen
+            return
+        if prefixlen is None:
+            if "/" not in spec:
+                raise ValueError(f"network needs a /prefixlen: {spec!r}")
+            addr_s, plen_s = spec.split("/", 1)
+            prefixlen = int(plen_s)
+        else:
+            addr_s = spec
+        if not 0 <= prefixlen <= 32:
+            raise ValueError(f"bad prefix length {prefixlen}")
+        base = _parse_dotted(addr_s)
+        mask = self._mask_for(prefixlen)
+        if base & ~mask & 0xFFFFFFFF:
+            raise ValueError(f"{addr_s}/{prefixlen} has host bits set")
+        self._net = base
+        self._prefixlen = prefixlen
+
+    @staticmethod
+    def _mask_for(prefixlen: int) -> int:
+        return (0xFFFFFFFF << (32 - prefixlen)) & 0xFFFFFFFF if prefixlen else 0
+
+    @property
+    def network_address(self) -> IPv4Address:
+        return IPv4Address(self._net)
+
+    @property
+    def prefixlen(self) -> int:
+        return self._prefixlen
+
+    @property
+    def netmask(self) -> IPv4Address:
+        return IPv4Address(self._mask_for(self._prefixlen))
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (32 - self._prefixlen)
+
+    def __contains__(self, addr: IPv4Address) -> bool:
+        if not isinstance(addr, IPv4Address):
+            return False
+        return (addr.value & self._mask_for(self._prefixlen)) == self._net
+
+    def host(self, index: int) -> IPv4Address:
+        """The ``index``-th usable host address (1-based inside the prefix)."""
+        if not 0 < index < self.num_addresses:
+            raise ValueError(f"host index {index} out of range for /{self._prefixlen}")
+        return IPv4Address(self._net + index)
+
+    def hosts(self) -> "list[IPv4Address]":
+        """All host addresses (excluding network and broadcast for /<31)."""
+        if self._prefixlen >= 31:
+            return [IPv4Address(self._net + i) for i in range(self.num_addresses)]
+        return [IPv4Address(self._net + i) for i in range(1, self.num_addresses - 1)]
+
+    def overlaps(self, other: "IPv4Network") -> bool:
+        shorter, longer = (self, other) if self._prefixlen <= other._prefixlen else (other, self)
+        return (longer._net & IPv4Network._mask_for(shorter._prefixlen)) == shorter._net
+
+    def __str__(self) -> str:
+        return f"{IPv4Address(self._net)}/{self._prefixlen}"
+
+    def __repr__(self) -> str:
+        return f"IPv4Network({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv4Network):
+            return (self._net, self._prefixlen) == (other._net, other._prefixlen)
+        return NotImplemented
+
+    def __lt__(self, other: "IPv4Network") -> bool:
+        if isinstance(other, IPv4Network):
+            return (self._net, self._prefixlen) < (other._net, other._prefixlen)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._net, self._prefixlen))
+
+
+def longest_prefix_match(
+    addr: IPv4Address, prefixes: "list[IPv4Network]"
+) -> IPv4Network | None:
+    """Return the most specific prefix containing ``addr``, or None."""
+    best: IPv4Network | None = None
+    for p in prefixes:
+        if addr in p and (best is None or p.prefixlen > best.prefixlen):
+            best = p
+    return best
+
+
+class MacAddress:
+    """A 48-bit MAC address; hashable, comparable, printable."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: "int | str | MacAddress") -> None:
+        if isinstance(value, MacAddress):
+            self._value = value._value
+        elif isinstance(value, int):
+            if not 0 <= value <= 0xFFFFFFFFFFFF:
+                raise ValueError(f"MAC int out of range: {value}")
+            self._value = value
+        elif isinstance(value, str):
+            parts = value.split(":")
+            if len(parts) != 6:
+                raise ValueError(f"bad MAC {value!r}")
+            v = 0
+            for p in parts:
+                v = (v << 8) | int(p, 16)
+            self._value = v
+        else:
+            raise TypeError(f"cannot make MacAddress from {type(value).__name__}")
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def octets(self) -> tuple[int, ...]:
+        return tuple((self._value >> (8 * i)) & 0xFF for i in range(5, -1, -1))
+
+    def __str__(self) -> str:
+        return ":".join(f"{o:02x}" for o in self.octets())
+
+    def __repr__(self) -> str:
+        return f"MacAddress({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MacAddress):
+            return self._value == other._value
+        return NotImplemented
+
+    def __lt__(self, other: "MacAddress") -> bool:
+        if isinstance(other, MacAddress):
+            return self._value < other._value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("mac", self._value))
+
+
+class MacAllocator:
+    """Hands out unique MAC addresses within one simulated world."""
+
+    def __init__(self, oui: int = 0x02_00_5E) -> None:
+        self._oui = oui
+        self._next = 1
+
+    def allocate(self) -> MacAddress:
+        mac = MacAddress((self._oui << 24) | self._next)
+        self._next += 1
+        if self._next > 0xFFFFFF:
+            raise RuntimeError("MAC allocator exhausted")
+        return mac

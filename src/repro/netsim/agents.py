@@ -1,0 +1,78 @@
+"""Host instrumentation: load sources and sampling helpers.
+
+RPS collects host load through its own sensor (paper §3.3: "RPS does
+this through a host load sensor"), so hosts expose a ``load(now)``
+callable rather than a MIB entry.  This module wires synthetic load
+traces onto hosts and provides a small recorder used by tests and the
+prediction experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.netsim.topology import Host, Network
+
+
+class TraceLoadSource:
+    """Piecewise-constant load from a pre-generated trace.
+
+    ``trace[k]`` is the load during ``[k*dt, (k+1)*dt)``; beyond the
+    trace end the series wraps around, so long simulations stay defined.
+    """
+
+    def __init__(self, trace: np.ndarray, dt: float = 1.0, t0: float = 0.0) -> None:
+        trace = np.asarray(trace, dtype=float)
+        if trace.ndim != 1 or trace.size == 0:
+            raise ValueError("trace must be a non-empty 1-D array")
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.trace = trace
+        self.dt = dt
+        self.t0 = t0
+
+    def __call__(self, now: float) -> float:
+        k = int((now - self.t0) / self.dt) % self.trace.size
+        return float(self.trace[k])
+
+
+def attach_load(host: Host, source: Callable[[float], float]) -> None:
+    """Attach a load source to a host (replacing any existing one)."""
+    host.load_source = source
+
+
+def attach_trace(host: Host, trace: np.ndarray, dt: float = 1.0) -> TraceLoadSource:
+    """Attach a trace-backed load source and return it."""
+    src = TraceLoadSource(trace, dt)
+    host.load_source = src
+    return src
+
+
+class LoadRecorder:
+    """Samples a host's load periodically into ``times`` / ``values``."""
+
+    def __init__(self, net: Network, host: Host, interval_s: float) -> None:
+        self.net = net
+        self.host = host
+        self.interval_s = interval_s
+        self.times: list[float] = []
+        self.values: list[float] = []
+        self._timer = None
+
+    def start(self) -> None:
+        if self._timer is None:
+            self._timer = self.net.engine.every(self.interval_s, self._sample)
+
+    def _sample(self) -> None:
+        self.times.append(self.net.now)
+        self.values.append(self.host.load(self.net.now))
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.values, dtype=float)

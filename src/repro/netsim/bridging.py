@@ -1,0 +1,249 @@
+"""L2 segments, spanning tree, and bridge forwarding databases.
+
+An *L2 segment* (broadcast domain) is a maximal set of interfaces
+connected through switches and hubs only — hosts and routers terminate
+segments.  Within each segment we elect a spanning tree (lowest
+bridge-id root, shortest path, deterministic tie-breaks) and then fill
+every switch's forwarding database with an entry per station MAC, the
+steady-state view a learning bridge converges to and exposes through
+the Bridge-MIB ``dot1dTpFdbTable``.
+
+Switch management MACs are stations too: real switches source SNMP
+replies, so their MACs appear in neighbouring bridges' FDBs.  The
+Bridge Collector's topology inference relies on this, as does the
+original (Lowekamp et al., SIGCOMM 2001) algorithm.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+import networkx as nx
+
+from repro.common.errors import TopologyError
+from repro.netsim.address import MacAddress
+from repro.netsim.topology import (
+    Channel,
+    Hub,
+    Interface,
+    Link,
+    Network,
+    Node,
+    Switch,
+)
+
+#: FDB port value for a bridge's own (self) MAC entries.
+SELF_PORT = 0
+
+
+def _is_l2_forwarder(node: Node) -> bool:
+    return isinstance(node, (Switch, Hub))
+
+
+class Segment:
+    """One broadcast domain: its links, forwarders, and attached stations."""
+
+    def __init__(self, seg_id: int) -> None:
+        self.id = seg_id
+        self.links: list[Link] = []
+        self.switches: list[Switch] = []
+        self.hubs: list[Hub] = []
+        #: host/router interfaces attached to this segment
+        self.edge_ifaces: list[Interface] = []
+        #: tree edges as a graph over attachment points (see _apoint)
+        self.tree: nx.Graph = nx.Graph()
+
+    def station_macs(self) -> dict[MacAddress, Interface]:
+        """All MACs visible on this segment (stations + switch mgmt)."""
+        macs: dict[MacAddress, Interface] = {}
+        for iface in self.edge_ifaces:
+            if iface.mac is not None:
+                macs[iface.mac] = iface
+        for sw in self.switches:
+            macs[sw.management_mac()] = sw.interfaces[0]
+        return macs
+
+
+def _apoint(iface: Interface) -> object:
+    """Attachment point for segment discovery.
+
+    Switches and hubs forward among all their ports, so the device is
+    one point; hosts and routers do not forward, so each of their
+    interfaces is its own point.
+    """
+    if _is_l2_forwarder(iface.device):
+        return iface.device
+    return iface
+
+
+def discover_segments(net: Network) -> list[Segment]:
+    """Partition all links into L2 segments via union over attachment points."""
+    g = nx.Graph()
+    for ln in net.links:
+        g.add_edge(_apoint(ln.a), _apoint(ln.b))
+    segments: list[Segment] = []
+    point_to_seg: dict[object, Segment] = {}
+    for idx, comp in enumerate(sorted(nx.connected_components(g), key=lambda c: min(str(x) for x in c))):
+        seg = Segment(idx)
+        for point in comp:
+            point_to_seg[point] = seg
+        for point in comp:
+            if isinstance(point, Switch):
+                seg.switches.append(point)
+            elif isinstance(point, Hub):
+                seg.hubs.append(point)
+            elif isinstance(point, Interface):
+                seg.edge_ifaces.append(point)
+        seg.switches.sort(key=lambda s: s.name)
+        seg.hubs.sort(key=lambda h: h.name)
+        seg.edge_ifaces.sort(key=lambda i: i.fqname)
+        segments.append(seg)
+    # Every link (including parallel ones a simple graph would collapse)
+    # goes to the segment of its endpoints.
+    for ln in net.links:
+        point_to_seg[_apoint(ln.a)].links.append(ln)
+    return segments
+
+
+def run_spanning_tree(net: Network) -> list[Segment]:
+    """Elect a spanning tree per segment; mark blocked switch ports.
+
+    Redundant links between switches are pruned by removing the edge
+    whose (cost, bridge-ids) sorts highest, approximating STP's
+    designated-port election.  A loop that cannot be broken at a switch
+    port (pure hub/host loop) is a construction error.
+    """
+    segments = discover_segments(net)
+    blocked: set[int] = set()
+    for seg in segments:
+        g = nx.Graph()
+        for ln in seg.links:
+            pa, pb = _apoint(ln.a), _apoint(ln.b)
+            if g.has_edge(pa, pb):
+                # Parallel links: keep the first deterministically, block the rest.
+                _block_link(ln, blocked)
+                continue
+            g.add_edge(pa, pb, link=ln)
+        # Break remaining cycles: highest-id edges go first.
+        while True:
+            try:
+                cycle = nx.find_cycle(g)
+            except nx.NetworkXNoCycle:
+                break
+            worst = max(cycle, key=lambda e: _edge_sort_key(g.edges[e]["link"]))
+            ln = g.edges[worst]["link"]
+            _block_link(ln, blocked)
+            g.remove_edge(*worst)
+        seg.tree = g
+        for sw in seg.switches:
+            sw.blocked_ports = {
+                i.index
+                for i in sw.interfaces
+                if i.link is not None and id(i.link) in blocked
+            }
+    net._segments = segments  # type: ignore[attr-defined]
+    net._blocked_links = blocked  # type: ignore[attr-defined]
+    return segments
+
+
+def _block_link(ln: Link, blocked: set[int]) -> None:
+    if not any(isinstance(end.device, Switch) for end in (ln.a, ln.b)):
+        raise TopologyError(f"cannot break L2 loop at {ln!r}: no switch port to block")
+    blocked.add(id(ln))
+
+
+def _edge_sort_key(ln: Link) -> tuple:
+    def bid(iface: Interface) -> tuple:
+        dev = iface.device
+        if isinstance(dev, Switch):
+            return dev.bridge_id
+        return (1 << 20, iface.mac.value if iface.mac else 0)
+
+    return tuple(sorted((bid(ln.a), bid(ln.b)), reverse=True))
+
+
+def populate_fdbs(net: Network) -> None:
+    """Fill each switch's FDB with one entry per station on its segment."""
+    segments: list[Segment] = getattr(net, "_segments", None) or run_spanning_tree(net)
+    for seg in segments:
+        stations = seg.station_macs()
+        for sw in seg.switches:
+            sw.fdb = {}
+            sw.fdb[sw.management_mac()] = SELF_PORT
+            # BFS over the tree from this switch, tracking the first-hop port.
+            reach = _ports_toward(seg, sw)
+            for mac, iface in stations.items():
+                if mac == sw.management_mac():
+                    continue
+                point = _apoint(iface)
+                port = reach.get(point)
+                if port is not None:
+                    sw.fdb[mac] = port
+
+
+def _ports_toward(seg: Segment, sw: Switch) -> dict[object, int]:
+    """Map each attachment point in the segment tree to the ifIndex of
+    the ``sw`` port on the tree path toward it."""
+    result: dict[object, int] = {}
+    tree = seg.tree
+    if sw not in tree:
+        return result
+    visited = {sw}
+    q: deque[tuple[object, int]] = deque()
+    for nbr in tree.neighbors(sw):
+        ln: Link = tree.edges[sw, nbr]["link"]
+        port_iface = ln.a if ln.a.device is sw else ln.b
+        q.append((nbr, port_iface.index))
+        visited.add(nbr)
+        result[nbr] = port_iface.index
+    while q:
+        point, port = q.popleft()
+        for nbr in tree.neighbors(point):
+            if nbr in visited:
+                continue
+            visited.add(nbr)
+            result[nbr] = port
+            q.append((nbr, port))
+    return result
+
+
+def l2_path(net: Network, src: Interface, dst: Interface) -> list[Channel]:
+    """Directed channels traversed from ``src`` to ``dst`` along the
+    segment's spanning tree.  Both interfaces must be on one segment."""
+    segments: list[Segment] = getattr(net, "_segments", None)
+    if segments is None:
+        raise TopologyError("network not frozen: no segments computed")
+    ps, pd = _apoint(src), _apoint(dst)
+    for seg in segments:
+        if ps in seg.tree and pd in seg.tree:
+            try:
+                points = nx.shortest_path(seg.tree, ps, pd)
+            except nx.NetworkXNoPath:
+                continue
+            channels: list[Channel] = []
+            for a, b in zip(points, points[1:]):
+                ln: Link = seg.tree.edges[a, b]["link"]
+                # orient: transmit from the interface on the `a` side
+                if _apoint(ln.a) is a:
+                    channels.append(ln.channel_from(ln.a))
+                else:
+                    channels.append(ln.channel_from(ln.b))
+            return channels
+    if ps is pd:
+        return []
+    raise TopologyError(f"{src.fqname} and {dst.fqname} are not on one L2 segment")
+
+
+def segment_of(net: Network, iface: Interface) -> Segment:
+    """The L2 segment an interface belongs to."""
+    segments: list[Segment] = getattr(net, "_segments", None)
+    if segments is None:
+        raise TopologyError("network not frozen: no segments computed")
+    p = _apoint(iface)
+    for seg in segments:
+        if p in seg.tree:
+            return seg
+        # single unlinked interface: degenerate segment
+        if isinstance(p, Interface) and p in seg.edge_ifaces:
+            return seg
+    raise TopologyError(f"{iface.fqname} is not on any segment")

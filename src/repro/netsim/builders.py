@@ -1,0 +1,390 @@
+"""Canonical topology builders for experiments and tests.
+
+Each builder returns the :class:`~repro.netsim.topology.Network` plus a
+small record of the interesting pieces, already frozen (routing tables,
+spanning trees and FDBs computed).  Conventions: site ``i`` gets subnet
+``10.<i>.0.0/16``; router-to-router transit prefixes come from
+``192.168.<k>.0/30``; switches receive management IPs inside their LAN
+subnet so SNMP can reach them.
+
+Builders provided:
+
+* :func:`build_dumbbell` — two hosts separated by two routers (the
+  paper's private testbed for the SNMP-accuracy runs, Figs. 4–5).
+* :func:`build_switched_lan` — a large bridged LAN: a tree of switches,
+  hosts on the leaves, one edge router (the CMU SCS network of Fig. 3).
+* :func:`build_hub_lan` — hosts sharing a hub (shared Ethernet →
+  virtual switch in discovered topologies).
+* :func:`build_multisite_wan` — N sites, each a small LAN behind an
+  edge router, joined through a WAN core (mirror/video experiments,
+  Figs. 8–11, Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.units import MBPS
+from repro.netsim.topology import Host, Hub, Network, Router, Switch
+
+
+@dataclass
+class Dumbbell:
+    net: Network
+    h1: Host
+    h2: Host
+    r1: Router
+    r2: Router
+
+
+def build_dumbbell(
+    endpoint_bps: float = 100 * MBPS,
+    middle_bps: float = 100 * MBPS,
+    latency_s: float = 0.0005,
+) -> Dumbbell:
+    """``h1 -- r1 -- r2 -- h2`` with separate subnets at each stage."""
+    net = Network()
+    h1 = net.add_host("h1")
+    h2 = net.add_host("h2")
+    r1 = net.add_router("r1")
+    r2 = net.add_router("r2")
+    l1 = net.link(h1, r1, endpoint_bps, latency_s)
+    lm = net.link(r1, r2, middle_bps, latency_s)
+    l2 = net.link(r2, h2, endpoint_bps, latency_s)
+    net.assign_ip(l1.a, "10.1.0.10", "10.1.0.0/24")
+    net.assign_ip(l1.b, "10.1.0.1", "10.1.0.0/24")
+    net.assign_ip(lm.a, "192.168.0.1", "192.168.0.0/30")
+    net.assign_ip(lm.b, "192.168.0.2", "192.168.0.0/30")
+    net.assign_ip(l2.a, "10.2.0.1", "10.2.0.0/24")
+    net.assign_ip(l2.b, "10.2.0.10", "10.2.0.0/24")
+    net.freeze()
+    return Dumbbell(net, h1, h2, r1, r2)
+
+
+@dataclass
+class SwitchedLan:
+    net: Network
+    router: Router
+    root_switch: Switch
+    switches: list[Switch]
+    hosts: list[Host]
+    subnet: str
+
+
+def build_switched_lan(
+    n_hosts: int,
+    fanout: int = 8,
+    host_bps: float = 100 * MBPS,
+    trunk_bps: float = 1000 * MBPS,
+    uplink_bps: float = 155 * MBPS,
+    subnet_octet: int = 1,
+) -> SwitchedLan:
+    """A bridged campus LAN: a ``fanout``-ary tree of switches with
+    hosts on leaf switches, one edge router on the tree root.
+
+    The number of switches is the smallest tree that gives every host a
+    port: each leaf switch carries up to ``fanout`` hosts, interior
+    switches carry up to ``fanout`` children.
+    """
+    if n_hosts < 1:
+        raise ValueError("need at least one host")
+    if fanout < 2:
+        raise ValueError("fanout must be >= 2")
+    net = Network()
+    subnet = f"10.{subnet_octet}.0.0/16"
+
+    n_leaves = -(-n_hosts // fanout)  # ceil
+    # Build switch tree level by level, leaves last.
+    levels: list[list[Switch]] = []
+    width = n_leaves
+    level_widths = [width]
+    while width > 1:
+        width = -(-width // fanout)
+        level_widths.append(width)
+    level_widths.reverse()  # root first
+    sw_count = 0
+    for w in level_widths:
+        row = []
+        for _ in range(w):
+            row.append(net.add_switch(f"sw{sw_count}"))
+            sw_count += 1
+        levels.append(row)
+    root = levels[0][0]
+    for parent_row, child_row in zip(levels, levels[1:]):
+        for j, child in enumerate(child_row):
+            parent = parent_row[j // fanout]
+            net.link(parent, child, trunk_bps)
+    leaves = levels[-1]
+
+    router = net.add_router("gw")
+    uplink = net.link(router, root, uplink_bps)
+
+    hosts: list[Host] = []
+    for i in range(n_hosts):
+        h = net.add_host(f"h{i}")
+        leaf = leaves[i // fanout]
+        ln = net.link(h, leaf, host_bps)
+        net.assign_ip(ln.a, f"10.{subnet_octet}.{1 + i // 250}.{1 + i % 250}", subnet)
+        hosts.append(h)
+
+    net.assign_ip(uplink.a, f"10.{subnet_octet}.255.1", subnet)
+    # Management IPs for switches: 10.x.254.<n>
+    switches = [s for row in levels for s in row]
+    for k, sw in enumerate(switches):
+        mgmt = f"10.{subnet_octet}.254.{k + 1}"
+        net.assign_ip(sw.interfaces[0], mgmt, subnet)
+        sw.management_ip = sw.interfaces[0].ip
+
+    net.freeze()
+    return SwitchedLan(net, router, root, switches, hosts, subnet)
+
+
+@dataclass
+class HubLan:
+    net: Network
+    router: Router
+    hub: Hub
+    switch: Switch
+    hosts: list[Host]
+    subnet: str
+
+
+def build_hub_lan(
+    n_hub_hosts: int = 4,
+    n_switch_hosts: int = 2,
+    host_bps: float = 10 * MBPS,
+    trunk_bps: float = 100 * MBPS,
+) -> HubLan:
+    """Hosts on a shared hub, the hub uplinked to a switch, plus hosts
+    directly on the switch, and an edge router — exercises the
+    virtual-switch representation for shared Ethernet."""
+    net = Network()
+    subnet = "10.9.0.0/24"
+    router = net.add_router("gw")
+    switch = net.add_switch("sw0")
+    hub = net.add_hub("hub0")
+    up = net.link(router, switch, trunk_bps)
+    net.link(switch, hub, host_bps)
+    hosts: list[Host] = []
+    n = 0
+    for i in range(n_hub_hosts):
+        h = net.add_host(f"hub_h{i}")
+        ln = net.link(h, hub, host_bps)
+        net.assign_ip(ln.a, f"10.9.0.{10 + n}", subnet)
+        hosts.append(h)
+        n += 1
+    for i in range(n_switch_hosts):
+        h = net.add_host(f"sw_h{i}")
+        ln = net.link(h, switch, trunk_bps)
+        net.assign_ip(ln.a, f"10.9.0.{10 + n}", subnet)
+        hosts.append(h)
+        n += 1
+    net.assign_ip(up.a, "10.9.0.1", subnet)
+    net.assign_ip(switch.interfaces[0], "10.9.0.2", subnet)
+    switch.management_ip = switch.interfaces[0].ip
+    net.freeze()
+    return HubLan(net, router, hub, switch, hosts, subnet)
+
+
+@dataclass
+class CampusSubnet:
+    subnet: str
+    gateway_ip: str
+    switch: Switch
+    hosts: list[Host]
+
+
+@dataclass
+class Campus:
+    net: Network
+    #: interior routers, one per subnet, joined by a backbone router
+    backbone: Router
+    routers: list[Router]
+    subnets: list[CampusSubnet]
+
+    def host(self, subnet_idx: int, host_idx: int = 0) -> Host:
+        return self.subnets[subnet_idx].hosts[host_idx]
+
+
+def build_campus(
+    n_subnets: int = 3,
+    hosts_per_subnet: int = 4,
+    host_bps: float = 100 * MBPS,
+    backbone_bps: float = 1000 * MBPS,
+) -> Campus:
+    """A multi-subnet campus: each subnet is a small switched LAN
+    behind its own router; routers star onto a backbone router.
+
+    This is the "IP domain corresponding to a university or
+    department" an SNMP Collector is assigned to (§3.1.1): one
+    collector, several routed subnets, several bridged segments.
+    """
+    if n_subnets < 1:
+        raise ValueError("need at least one subnet")
+    net = Network()
+    backbone = net.add_router("bb")
+    routers: list[Router] = []
+    subnets: list[CampusSubnet] = []
+    for i in range(n_subnets):
+        subnet = f"10.{100 + i}.0.0/24"
+        gw = net.add_router(f"r{i}")
+        sw = net.add_switch(f"csw{i}")
+        lan_link = net.link(gw, sw, backbone_bps)
+        trunk = net.link(gw, backbone, backbone_bps)
+        hosts: list[Host] = []
+        for j in range(hosts_per_subnet):
+            h = net.add_host(f"c{i}h{j}")
+            ln = net.link(h, sw, host_bps)
+            net.assign_ip(ln.a, f"10.{100 + i}.0.{10 + j}", subnet)
+            hosts.append(h)
+        net.assign_ip(lan_link.a, f"10.{100 + i}.0.1", subnet)
+        net.assign_ip(sw.interfaces[0], f"10.{100 + i}.0.2", subnet)
+        sw.management_ip = sw.interfaces[0].ip
+        transit = f"192.168.{100 + i}.0/30"
+        net.assign_ip(trunk.a, f"192.168.{100 + i}.1", transit)
+        net.assign_ip(trunk.b, f"192.168.{100 + i}.2", transit)
+        routers.append(gw)
+        subnets.append(CampusSubnet(subnet, f"10.{100 + i}.0.1", sw, hosts))
+    net.freeze()
+    return Campus(net, backbone, routers, subnets)
+
+
+@dataclass
+class WirelessLan:
+    net: Network
+    router: Router
+    switch: Switch
+    basestations: list  # list[Basestation]
+    wired_hosts: list[Host]
+    wireless_hosts: list[Host]
+    subnet: str
+
+
+def build_wireless_lan(
+    n_basestations: int = 3,
+    n_wireless_hosts: int = 6,
+    n_wired_hosts: int = 2,
+    air_rate_bps: float = 11 * MBPS,
+    trunk_bps: float = 100 * MBPS,
+) -> WirelessLan:
+    """An infrastructure WLAN: basestations on a distribution switch,
+    wireless hosts spread round-robin across cells, a couple of wired
+    hosts, and an edge router — the §6.2 mobile-host scenario.
+
+    Wireless hosts can roam between cells with
+    :func:`repro.netsim.wireless.associate`.
+    """
+    from repro.netsim.wireless import Basestation, add_basestation
+
+    if n_basestations < 1:
+        raise ValueError("need at least one basestation")
+    net = Network()
+    subnet = "10.77.0.0/16"
+    router = net.add_router("gw")
+    switch = net.add_switch("dsw")
+    uplink = net.link(router, switch, trunk_bps)
+    basestations: list[Basestation] = []
+    for i in range(n_basestations):
+        bs = add_basestation(net, f"ap{i}", switch, air_rate_bps)
+        basestations.append(bs)
+    wireless_hosts: list[Host] = []
+    n = 0
+    for i in range(n_wireless_hosts):
+        h = net.add_host(f"wh{i}")
+        bs = basestations[i % n_basestations]
+        ln = net.link(h, bs, air_rate_bps)
+        net.assign_ip(ln.a, f"10.77.0.{10 + n}", subnet)
+        wireless_hosts.append(h)
+        n += 1
+    wired_hosts: list[Host] = []
+    for i in range(n_wired_hosts):
+        h = net.add_host(f"h{i}")
+        ln = net.link(h, switch, trunk_bps)
+        net.assign_ip(ln.a, f"10.77.0.{10 + n}", subnet)
+        wired_hosts.append(h)
+        n += 1
+    net.assign_ip(uplink.a, "10.77.255.1", subnet)
+    net.assign_ip(switch.interfaces[0], "10.77.254.1", subnet)
+    switch.management_ip = switch.interfaces[0].ip
+    for k, bs in enumerate(basestations):
+        net.assign_ip(bs.interfaces[0], f"10.77.254.{10 + k}", subnet)
+        bs.management_ip = bs.interfaces[0].ip
+    net.freeze()
+    return WirelessLan(
+        net, router, switch, basestations, wired_hosts, wireless_hosts, subnet
+    )
+
+
+@dataclass
+class SiteSpec:
+    """One WAN site: a small LAN behind an edge router.
+
+    ``access_bps`` is the capacity of the site's link into the WAN core
+    — the usual bottleneck that gives each site its characteristic
+    bandwidth (Table 1).
+    """
+
+    name: str
+    access_bps: float
+    n_hosts: int = 2
+    lan_bps: float = 100 * MBPS
+    access_latency_s: float = 0.02
+
+
+@dataclass
+class Site:
+    spec: SiteSpec
+    router: Router
+    switch: Switch
+    hosts: list[Host]
+    subnet: str
+
+
+@dataclass
+class WanWorld:
+    net: Network
+    core: Router
+    sites: dict[str, Site] = field(default_factory=dict)
+
+    def host(self, site: str, idx: int = 0) -> Host:
+        return self.sites[site].hosts[idx]
+
+
+def build_multisite_wan(specs: list[SiteSpec]) -> WanWorld:
+    """N sites star-connected through one WAN core router.
+
+    Every site's LAN is one subnet (``10.<i+10>.0.0/16``); its access
+    link to the core uses a /30 transit prefix.  The star keeps paths
+    two access links long — site A to site B always crosses both
+    access bottlenecks, like the paper's CMU-to-Europe paths.
+    """
+    if not specs:
+        raise ValueError("need at least one site")
+    names = [s.name for s in specs]
+    if len(set(names)) != len(names):
+        raise ValueError("site names must be unique")
+    net = Network()
+    core = net.add_router("core")
+    world = WanWorld(net, core)
+    for i, spec in enumerate(specs):
+        octet = i + 10
+        subnet = f"10.{octet}.0.0/16"
+        router = net.add_router(f"{spec.name}-gw")
+        switch = net.add_switch(f"{spec.name}-sw")
+        lan_link = net.link(router, switch, spec.lan_bps)
+        access = net.link(router, core, spec.access_bps, spec.access_latency_s)
+        hosts: list[Host] = []
+        for j in range(spec.n_hosts):
+            h = net.add_host(f"{spec.name}-h{j}")
+            ln = net.link(h, switch, spec.lan_bps)
+            net.assign_ip(ln.a, f"10.{octet}.0.{10 + j}", subnet)
+            hosts.append(h)
+        net.assign_ip(lan_link.a, f"10.{octet}.0.1", subnet)
+        net.assign_ip(switch.interfaces[0], f"10.{octet}.0.2", subnet)
+        switch.management_ip = switch.interfaces[0].ip
+        transit = f"192.168.{i + 1}.0/30"
+        net.assign_ip(access.a, f"192.168.{i + 1}.1", transit)
+        net.assign_ip(access.b, f"192.168.{i + 1}.2", transit)
+        world.sites[spec.name] = Site(spec, router, switch, hosts, subnet)
+    net.freeze()
+    return world

@@ -1,0 +1,197 @@
+"""Discrete-event simulation kernel.
+
+The whole Remos stack — traffic sources, SNMP agents, collectors,
+modelers — runs inside one simulated timeline owned by an
+:class:`Engine`.  The kernel is deliberately small: a binary heap of
+timestamped callbacks plus a current-time cursor.
+
+Execution model
+---------------
+Callbacks are **atomic in simulated time** but may *consume* simulated
+time themselves by calling :meth:`Engine.advance` (this is how a
+blocking SNMP round-trip or an inter-component RPC charges its latency).
+The dispatch rule is::
+
+    pop the earliest event (time t)
+    now = max(now, t)          # advances normally; never goes backward
+    run the callback           # may call advance() internally
+
+If a callback advances the clock past the scheduled time of the next
+event, that event simply runs late — exactly what happens to a
+single-threaded poller that is busy answering a long query.  Fluid
+traffic state (see :mod:`repro.netsim.flows`) is integrated lazily from
+rates, so reads at any ``now`` remain consistent even when events slip.
+
+Periodic timers keep a fixed cadence (next tick at ``t0 + k*interval``);
+ticks that would land in the past after a long callback are skipped,
+matching how a real periodic monitor catches up after a stall.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Timer:
+    """Handle to a scheduled (possibly periodic) event.
+
+    ``cancel()`` prevents any further firing.  For periodic timers the
+    handle stays valid across ticks.
+    """
+
+    def __init__(self) -> None:
+        self._event: _Event | None = None
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        if self._event is not None:
+            self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class Engine:
+    """Event queue + simulated clock.
+
+    Typical driver loop::
+
+        eng = Engine()
+        eng.every(5.0, poller.tick)
+        eng.at(10.0, lambda: traffic.start(...))
+        eng.run_until(300.0)
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._queue: list[_Event] = []
+        self._seq = itertools.count()
+        #: number of callbacks dispatched (diagnostics / tests)
+        self.dispatched = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling ---------------------------------------------------
+
+    def at(self, time: float, fn: Callable[[], None]) -> Timer:
+        """Run ``fn`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        timer = Timer()
+        ev = _Event(time, next(self._seq), fn)
+        timer._event = ev
+        heapq.heappush(self._queue, ev)
+        return timer
+
+    def after(self, delay: float, fn: Callable[[], None]) -> Timer:
+        """Run ``fn`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        return self.at(self._now + delay, fn)
+
+    def every(
+        self,
+        interval: float,
+        fn: Callable[[], None],
+        *,
+        start: float | None = None,
+    ) -> Timer:
+        """Run ``fn`` periodically with a fixed cadence.
+
+        The first tick is at ``start`` (default: now + interval).  If a
+        long callback pushes the clock past one or more scheduled
+        ticks, those ticks are skipped rather than fired in a burst.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be > 0")
+        timer = Timer()
+        first = self._now + interval if start is None else start
+
+        def tick_wrapper(scheduled: float) -> None:
+            if timer._cancelled:
+                return
+            fn()
+            if timer._cancelled:
+                return
+            nxt = scheduled + interval
+            while nxt <= self._now:  # catch up without a tick burst
+                nxt += interval
+            ev = _Event(nxt, next(self._seq), lambda: tick_wrapper(nxt))
+            timer._event = ev
+            heapq.heappush(self._queue, ev)
+
+        ev = _Event(first, next(self._seq), lambda: tick_wrapper(first))
+        timer._event = ev
+        heapq.heappush(self._queue, ev)
+        return timer
+
+    # -- time consumption inside callbacks -----------------------------
+
+    def advance(self, dt: float) -> None:
+        """Consume ``dt`` seconds of simulated time inside a callback.
+
+        Used by blocking operations (SNMP round trips, RPCs, benchmark
+        transfers) to charge their duration to the simulation clock.
+        """
+        if dt < 0:
+            raise ValueError("cannot advance backwards")
+        self._now += dt
+
+    # -- running --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Dispatch the next event.  Returns False if the queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            if ev.time > self._now:
+                self._now = ev.time
+            self.dispatched += 1
+            ev.fn()
+            return True
+        return False
+
+    def run_until(self, t_end: float) -> None:
+        """Dispatch events until the clock would pass ``t_end``.
+
+        The clock finishes exactly at ``t_end`` unless a callback
+        overshot it by advancing internally.
+        """
+        while self._queue:
+            ev = self._queue[0]
+            if ev.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if ev.time > t_end:
+                break
+            self.step()
+        if self._now < t_end:
+            self._now = t_end
+
+    def run(self, max_events: int = 1_000_000) -> None:
+        """Run until the queue drains (bounded by ``max_events``)."""
+        for _ in range(max_events):
+            if not self.step():
+                return
+        raise RuntimeError(f"engine did not quiesce within {max_events} events")
+
+    def pending(self) -> int:
+        """Number of live events still queued."""
+        return sum(1 for ev in self._queue if not ev.cancelled)

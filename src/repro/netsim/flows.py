@@ -1,0 +1,313 @@
+"""Fluid flows with max-min fair bandwidth sharing.
+
+Traffic is modelled at flow granularity: each :class:`Flow` occupies a
+fixed path of directed channels and receives a rate from the global
+**max-min fair allocation** (progressive filling / water-filling) over
+all active flows, honouring per-flow demand caps.  This is the standard
+fluid approximation of many concurrent TCP flows and is what makes
+octet counters exactly integrable: between allocation changes every
+rate is constant.
+
+The :class:`FlowManager` recomputes the allocation whenever a flow
+starts, stops, or changes demand, synchronising all affected channel
+counters first so the integral stays exact.  Finite transfers
+(``total_bytes``) get completion events scheduled on the engine and
+re-scheduled whenever their allocated rate changes.
+
+Progressive filling (Bertsekas & Gallager): grow all unfrozen flow
+rates at one common level; the first constraint to bind is either a
+flow's demand (freeze that flow) or a link's capacity (freeze every
+unfrozen flow crossing it).  Repeat until all flows are frozen.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import TYPE_CHECKING, Callable
+
+from repro.common.errors import TopologyError
+from repro.common.units import BITS_PER_BYTE
+from repro.netsim.engine import Timer
+
+if TYPE_CHECKING:
+    from repro.netsim.topology import Channel, Host, Network
+
+
+class Flow:
+    """One fluid flow: a path, a demand cap, and an allocated rate.
+
+    ``demand_bps=inf`` models a greedy (TCP-saturating) flow;
+    ``total_bytes`` turns it into a finite transfer whose completion
+    fires ``on_complete(flow)``.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        src: "Host",
+        dst: "Host",
+        path: "list[Channel]",
+        demand_bps: float = math.inf,
+        total_bytes: float | None = None,
+        on_complete: "Callable[[Flow], None] | None" = None,
+        label: str = "",
+    ) -> None:
+        self.id = next(Flow._ids)
+        self.src = src
+        self.dst = dst
+        self.path = path
+        self.demand_bps = demand_bps
+        self.total_bytes = total_bytes
+        self.bytes_remaining = total_bytes
+        self.on_complete = on_complete
+        self.label = label or f"flow{self.id}"
+        #: current max-min allocated rate (maintained by FlowManager)
+        self.rate_bps = 0.0
+        #: cumulative bytes actually delivered
+        self.bytes_done = 0.0
+        self.active = False
+        self.start_time: float | None = None
+        self.end_time: float | None = None
+        self._completion_timer: Timer | None = None
+        self._last_settle = 0.0
+
+    def __repr__(self) -> str:
+        return f"Flow({self.label}: {self.src.name}->{self.dst.name}, rate={self.rate_bps:.0f}bps)"
+
+
+class FlowManager:
+    """Owns the set of active flows and the max-min allocation."""
+
+    def __init__(self, network: "Network") -> None:
+        self.network = network
+        self.flows: dict[int, Flow] = {}
+        #: allocation recomputations performed (diagnostics)
+        self.recomputes = 0
+
+    # -- public API ------------------------------------------------------
+
+    def start_flow(
+        self,
+        src: "Host | str",
+        dst: "Host | str",
+        demand_bps: float = math.inf,
+        total_bytes: float | None = None,
+        on_complete: "Callable[[Flow], None] | None" = None,
+        label: str = "",
+    ) -> Flow:
+        """Begin a flow now; the allocation is recomputed immediately."""
+        from repro.netsim.paths import compute_path
+
+        net = self.network
+        if isinstance(src, str):
+            src = net.host(src)
+        if isinstance(dst, str):
+            dst = net.host(dst)
+        if src is dst:
+            raise TopologyError("flow endpoints must differ")
+        path = compute_path(net, src, dst)
+        flow = Flow(src, dst, path, demand_bps, total_bytes, on_complete, label)
+        flow.active = True
+        flow.start_time = net.now
+        flow._last_settle = net.now
+        self.flows[flow.id] = flow
+        self._reallocate()
+        return flow
+
+    def stop_flow(self, flow: Flow) -> None:
+        """End a flow now (idempotent)."""
+        if not flow.active:
+            return
+        self._settle(flow)
+        flow.active = False
+        flow.end_time = self.network.now
+        flow.rate_bps = 0.0
+        if flow._completion_timer is not None:
+            flow._completion_timer.cancel()
+            flow._completion_timer = None
+        del self.flows[flow.id]
+        self._reallocate()
+
+    def set_demand(self, flow: Flow, demand_bps: float) -> None:
+        """Change a flow's demand cap; rates are re-balanced."""
+        if demand_bps < 0:
+            raise ValueError("demand must be >= 0")
+        if not flow.active:
+            raise ValueError("flow is not active")
+        self._settle(flow)
+        flow.demand_bps = demand_bps
+        self._reallocate()
+
+    def active_flows(self) -> list[Flow]:
+        return list(self.flows.values())
+
+    def flows_on(self, channel: "Channel") -> list[Flow]:
+        return [f for f in self.flows.values() if channel in f.path]
+
+    # -- allocation --------------------------------------------------------
+
+    def _settle(self, flow: Flow) -> None:
+        """Fold a flow's progress forward to `now` at its current rate."""
+        now = self.network.now
+        if flow.start_time is None:
+            return
+        last = flow._last_settle
+        if now > last:
+            moved = flow.rate_bps * (now - last) / BITS_PER_BYTE
+            flow.bytes_done += moved
+            if flow.bytes_remaining is not None:
+                flow.bytes_remaining = max(0.0, flow.bytes_remaining - moved)
+        flow._last_settle = now
+
+    def _reallocate(self) -> None:
+        """Recompute the global max-min fair allocation.
+
+        Channel counters and per-flow progress are synchronised to `now`
+        before any rate changes so integrals remain exact.
+        """
+        now = self.network.now
+        self.recomputes += 1
+        flows = [f for f in self.flows.values() if f.active]
+
+        # Settle byte accounting at the old rates.
+        touched: set[int] = set()
+        for f in flows:
+            self._settle(f)
+            for ch in f.path:
+                if id(ch) not in touched:
+                    touched.add(id(ch))
+                    ch.sync(now)
+
+        rates = max_min_allocation(
+            [f.path for f in flows], [f.demand_bps for f in flows]
+        )
+
+        # Apply new rates to flows and channel aggregates.
+        per_channel: dict[int, float] = {}
+        chan_by_id: dict[int, "Channel"] = {}
+        for f, r in zip(flows, rates):
+            f.rate_bps = r
+            for ch in f.path:
+                per_channel[id(ch)] = per_channel.get(id(ch), 0.0) + r
+                chan_by_id[id(ch)] = ch
+        # Channels that lost their last flow need zeroing too: sync all
+        # channels we know about from the previous allocation.
+        for ln in self.network.links:
+            for ch in ln.channels():
+                new_rate = per_channel.get(id(ch), 0.0)
+                if ch.rate_sum != new_rate:
+                    ch.sync(now)
+                    ch.rate_sum = new_rate
+
+        # Re-schedule completion events for finite transfers.
+        for f in flows:
+            if f.bytes_remaining is None:
+                continue
+            if f._completion_timer is not None:
+                f._completion_timer.cancel()
+                f._completion_timer = None
+            if f.bytes_remaining <= 0:
+                self.network.engine.after(0.0, lambda f=f: self._complete(f))
+            elif f.rate_bps > 0:
+                eta = f.bytes_remaining * BITS_PER_BYTE / f.rate_bps
+                f._completion_timer = self.network.engine.after(
+                    eta, lambda f=f: self._complete(f)
+                )
+
+    def _complete(self, flow: Flow) -> None:
+        if not flow.active:
+            return
+        self._settle(flow)
+        if flow.bytes_remaining is not None and flow.bytes_remaining > 1e-6:
+            return  # a reallocation slowed it down; a newer timer exists
+        cb = flow.on_complete
+        self.stop_flow(flow)
+        if cb is not None:
+            cb(flow)
+
+
+def max_min_allocation(
+    paths: "list[list[Channel]]", demands: list[float]
+) -> list[float]:
+    """Max-min fair rates for flows over shared channels.
+
+    Progressive filling: all unfrozen flows share one water level; at
+    each step the next binding constraint is either a flow demand or a
+    channel capacity.  Runs in O(iterations × flows × path length); the
+    iteration count is bounded by flows + channels.
+
+    Zero-length paths (src == dst within one node) get their full demand.
+    """
+    n = len(paths)
+    if n == 0:
+        return []
+    rates = [0.0] * n
+    frozen = [False] * n
+
+    # channel id -> (capacity, list of flow indices)
+    chan_cap: dict[int, float] = {}
+    chan_flows: dict[int, list[int]] = {}
+    for i, path in enumerate(paths):
+        if not path:
+            rates[i] = demands[i] if math.isfinite(demands[i]) else math.inf
+            frozen[i] = True
+            continue
+        for ch in path:
+            if id(ch) not in chan_cap:
+                chan_cap[id(ch)] = ch.capacity_bps
+                chan_flows[id(ch)] = []
+            chan_flows[id(ch)].append(i)
+
+    level = 0.0
+    for _ in range(n + len(chan_cap) + 1):
+        unfrozen = [i for i in range(n) if not frozen[i]]
+        if not unfrozen:
+            break
+        # Next demand bind.
+        delta_demand = math.inf
+        for i in unfrozen:
+            d = demands[i] - level
+            if d < delta_demand:
+                delta_demand = d
+        # Next capacity bind.
+        delta_cap = math.inf
+        for cid, members in chan_flows.items():
+            active = [i for i in members if not frozen[i]]
+            if not active:
+                continue
+            frozen_load = sum(rates[i] for i in members if frozen[i])
+            residual = chan_cap[cid] - frozen_load - level * len(active)
+            d = residual / len(active)
+            if d < delta_cap:
+                delta_cap = d
+        delta = min(delta_demand, delta_cap)
+        if not math.isfinite(delta):
+            # Only infinite demands remain and no capacity binds: the
+            # paths must be capacity-free (impossible for real links).
+            for i in unfrozen:
+                rates[i] = math.inf
+                frozen[i] = True
+            break
+        delta = max(delta, 0.0)
+        level += delta
+        # Freeze at binding constraints.
+        for i in unfrozen:
+            if demands[i] - level <= 1e-12:
+                rates[i] = demands[i]
+                frozen[i] = True
+        for cid, members in chan_flows.items():
+            active = [i for i in members if not frozen[i]]
+            if not active:
+                continue
+            frozen_load = sum(rates[i] for i in members if frozen[i])
+            residual = chan_cap[cid] - frozen_load - level * len(active)
+            if residual / len(active) <= 1e-12:
+                for i in active:
+                    rates[i] = level
+                    frozen[i] = True
+    for i in range(n):
+        if not frozen[i]:
+            rates[i] = min(level, demands[i])
+    return rates

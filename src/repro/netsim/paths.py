@@ -1,0 +1,62 @@
+"""End-to-end path computation: L3 forwarding glued to L2 spanning trees.
+
+``compute_path`` walks a packet's journey the way the network would
+forward it: at each L3 hop consult the host default route or the
+router's longest-prefix-match table (:mod:`repro.netsim.routing`), then
+cross the subnet on the segment's spanning tree
+(:mod:`repro.netsim.bridging`).  The result is the exact sequence of
+directed channels a fluid flow occupies — the ground truth that SNMP
+octet counters, and therefore everything the collectors see, derive
+from.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import TopologyError
+from repro.netsim.address import IPv4Address
+from repro.netsim.bridging import l2_path
+from repro.netsim.routing import resolve_l3_next_hop
+from repro.netsim.topology import Channel, Host, Network, Node, Router
+
+#: Safety bound on L3 hops; trips on routing loops.
+MAX_HOPS = 64
+
+
+def compute_path(net: Network, src: Host | str, dst: Host | str) -> list[Channel]:
+    """Directed channels traversed from ``src`` to ``dst``.
+
+    Accepts host objects or host names.  Raises
+    :class:`~repro.common.errors.TopologyError` on unreachable
+    destinations or forwarding loops.
+    """
+    if isinstance(src, str):
+        src = net.host(src)
+    if isinstance(dst, str):
+        dst = net.host(dst)
+    if src is dst:
+        return []
+    dst_ip = dst.ip
+
+    channels: list[Channel] = []
+    current: Node = src
+    for _ in range(MAX_HOPS):
+        if current is dst:
+            return channels
+        if not isinstance(current, (Host, Router)):
+            raise TopologyError(f"cannot forward from a {current.kind}")
+        out_iface, hop_iface = resolve_l3_next_hop(net, current, dst_ip)
+        channels.extend(l2_path(net, out_iface, hop_iface))
+        current = hop_iface.device
+    raise TopologyError(f"forwarding loop between {src.name} and {dst.name}")
+
+
+def path_latency(channels: list[Channel]) -> float:
+    """One-way propagation latency along a channel sequence."""
+    return sum(ch.link.latency_s for ch in channels)
+
+
+def path_capacity(channels: list[Channel]) -> float:
+    """Raw bottleneck capacity along a channel sequence."""
+    if not channels:
+        return float("inf")
+    return min(ch.capacity_bps for ch in channels)

@@ -1,0 +1,181 @@
+"""Declarative topology specifications.
+
+Build a :class:`~repro.netsim.topology.Network` from a plain dict (or
+JSON text), and export an existing network back to one — so topologies
+can live in files, be shared in bug reports, and round-trip through
+tests.  The format::
+
+    {
+      "nodes": [
+        {"name": "h1", "kind": "host"},
+        {"name": "r1", "kind": "router"},
+        {"name": "sw1", "kind": "switch"},
+        {"name": "hub1", "kind": "hub"},
+        {"name": "ap1", "kind": "basestation", "air_rate_mbps": 11}
+      ],
+      "links": [
+        {"a": "h1", "b": "sw1", "capacity_mbps": 100,
+         "latency_ms": 0.5,
+         "a_ip": "10.0.0.10", "b_ip": null, "subnet": "10.0.0.0/24"}
+      ],
+      "management": [
+        {"node": "sw1", "ip": "10.0.0.2", "subnet": "10.0.0.0/24"}
+      ]
+    }
+
+``a_ip``/``b_ip`` assign addresses to the link's two interfaces (null =
+unaddressed, e.g. a switch port).  Management entries give switches and
+basestations their SNMP address on the first interface.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.common.errors import TopologyError
+from repro.common.units import MBPS
+from repro.netsim.topology import Host, Hub, Network, Node, Router, Switch
+
+_KINDS = ("host", "router", "switch", "hub", "basestation")
+
+
+class SpecError(TopologyError):
+    """The specification is malformed."""
+
+
+def network_from_spec(spec: dict, freeze: bool = True) -> Network:
+    """Build a network from a spec dict (see module docstring)."""
+    if not isinstance(spec, dict):
+        raise SpecError("spec must be a dict")
+    net = Network()
+    for node_doc in spec.get("nodes", []):
+        name = node_doc.get("name")
+        kind = node_doc.get("kind")
+        if not name or kind not in _KINDS:
+            raise SpecError(f"bad node entry {node_doc!r}")
+        if kind == "host":
+            net.add_host(name)
+        elif kind == "router":
+            net.add_router(name)
+        elif kind == "switch":
+            net.add_switch(name, int(node_doc.get("bridge_priority", 32768)))
+        elif kind == "hub":
+            net.add_hub(name)
+        else:  # basestation
+            from repro.netsim.wireless import Basestation
+
+            bs = Basestation(
+                net, name, float(node_doc.get("air_rate_mbps", 11)) * MBPS
+            )
+            net._add_node(bs)
+    for link_doc in spec.get("links", []):
+        try:
+            a = net.node(link_doc["a"])
+            b = net.node(link_doc["b"])
+            cap = float(link_doc["capacity_mbps"]) * MBPS
+        except (KeyError, ValueError, TypeError, TopologyError) as exc:
+            raise SpecError(f"bad link entry {link_doc!r}: {exc}") from exc
+        latency = float(link_doc.get("latency_ms", 0.5)) / 1000.0
+        ln = net.link(a, b, cap, latency)
+        for end, key in ((ln.a, "a"), (ln.b, "b")):
+            ip = link_doc.get(f"{key}_ip")
+            if ip:
+                subnet = link_doc.get(f"{key}_subnet") or link_doc.get("subnet")
+                if not subnet:
+                    raise SpecError(
+                        f"link {link_doc!r} assigns {key}_ip without a subnet"
+                    )
+                net.assign_ip(end, ip, subnet)
+    for mgmt in spec.get("management", []):
+        try:
+            node = net.node(mgmt["node"])
+        except KeyError as exc:
+            raise SpecError(f"bad management entry {mgmt!r}") from exc
+        if not node.interfaces:
+            raise SpecError(f"{node.name} has no interfaces for a management IP")
+        net.assign_ip(node.interfaces[0], mgmt["ip"], mgmt["subnet"])
+        if hasattr(node, "management_ip"):
+            node.management_ip = node.interfaces[0].ip
+    if freeze:
+        net.freeze()
+    return net
+
+
+def spec_from_network(net: Network) -> dict:
+    """Export a network (built any way) back to a spec dict.
+
+    Addresses assigned to first interfaces of switches/basestations are
+    exported as management entries; all other interface addresses ride
+    on their links.
+    """
+    from repro.netsim.wireless import Basestation
+
+    nodes = []
+    mgmt_ifaces = {}
+    for name in sorted(net.nodes):
+        node = net.nodes[name]
+        if isinstance(node, Basestation):
+            nodes.append(
+                {
+                    "name": name,
+                    "kind": "basestation",
+                    "air_rate_mbps": node.air_rate_bps / MBPS,
+                }
+            )
+        elif isinstance(node, Host):
+            nodes.append({"name": name, "kind": "host"})
+        elif isinstance(node, Router):
+            nodes.append({"name": name, "kind": "router"})
+        elif isinstance(node, Switch):
+            nodes.append(
+                {"name": name, "kind": "switch",
+                 "bridge_priority": node.bridge_priority}
+            )
+        elif isinstance(node, Hub):
+            nodes.append({"name": name, "kind": "hub"})
+        else:
+            raise SpecError(f"cannot export node kind {node.kind!r}")
+        management_ip = getattr(node, "management_ip", None)
+        if management_ip is not None and node.interfaces:
+            first = node.interfaces[0]
+            if first.ip == management_ip:
+                mgmt_ifaces[id(first)] = {
+                    "node": name,
+                    "ip": str(management_ip),
+                    "subnet": str(first.network),
+                }
+    links = []
+    for ln in net.links:
+        doc = {
+            "a": ln.a.device.name,
+            "b": ln.b.device.name,
+            "capacity_mbps": ln.capacity_bps / MBPS,
+            "latency_ms": ln.latency_s * 1000.0,
+        }
+        subnets = {}
+        for end, key in ((ln.a, "a"), (ln.b, "b")):
+            if end.ip is not None and id(end) not in mgmt_ifaces:
+                doc[f"{key}_ip"] = str(end.ip)
+                subnets[key] = str(end.network)
+        if len(set(subnets.values())) == 1:
+            doc["subnet"] = next(iter(subnets.values()))
+        else:
+            for key, s in subnets.items():
+                doc[f"{key}_subnet"] = s
+        links.append(doc)
+    return {
+        "nodes": nodes,
+        "links": links,
+        "management": sorted(mgmt_ifaces.values(), key=lambda m: m["node"]),
+    }
+
+
+def network_from_json(text: str, freeze: bool = True) -> Network:
+    try:
+        return network_from_spec(json.loads(text), freeze)
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"bad JSON: {exc}") from exc
+
+
+def network_to_json(net: Network, indent: int | None = 2) -> str:
+    return json.dumps(spec_from_network(net), indent=indent)

@@ -1,0 +1,310 @@
+"""Traffic generators.
+
+Each generator drives flows on a :class:`~repro.netsim.topology.Network`
+through its engine:
+
+* :class:`CbrTraffic` — constant bit-rate flow (demand-capped fluid).
+* :class:`BurstTraffic` — Netperf-style greedy TCP bursts with idle
+  gaps; used for the SNMP-accuracy experiments (paper Figs. 4–5).
+* :class:`RandomWalkTraffic` — demand follows a clipped random walk,
+  re-drawn every ``step_s``; the background cross-traffic that gives
+  WAN paths their per-site mean/σ bandwidth character (Table 1).
+* :class:`ParetoOnOffTraffic` — heavy-tailed on/off source, the classic
+  self-similar LAN background model.
+* :class:`FileTransfer` — a finite transfer reporting completion time
+  and achieved throughput (mirror experiment workload).
+
+Generators are started with ``.start()`` and stopped with ``.stop()``;
+all scheduling happens on the network's engine, so a single
+``engine.run_until(t)`` drives everything.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.common.rng import make_rng
+from repro.netsim.flows import Flow
+from repro.netsim.topology import Host, Network
+
+
+class CbrTraffic:
+    """A constant-bit-rate flow between two hosts."""
+
+    def __init__(
+        self,
+        net: Network,
+        src: Host | str,
+        dst: Host | str,
+        rate_bps: float,
+        label: str = "cbr",
+    ) -> None:
+        self.net = net
+        self.src = src
+        self.dst = dst
+        self.rate_bps = rate_bps
+        self.label = label
+        self.flow: Flow | None = None
+
+    def start(self) -> None:
+        if self.flow is None:
+            self.flow = self.net.flows.start_flow(
+                self.src, self.dst, demand_bps=self.rate_bps, label=self.label
+            )
+
+    def stop(self) -> None:
+        if self.flow is not None:
+            self.net.flows.stop_flow(self.flow)
+            self.flow = None
+
+    def current_rate(self) -> float:
+        return self.flow.rate_bps if self.flow is not None else 0.0
+
+
+class BurstTraffic:
+    """Greedy bursts with gaps, like repeated Netperf runs.
+
+    ``schedule`` is a list of ``(start, duration)`` pairs in seconds.
+    During a burst the flow is greedy (infinite demand) so it takes
+    whatever max-min share the path allows — exactly how a TCP bulk
+    transfer behaves in the fluid model.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        src: Host | str,
+        dst: Host | str,
+        schedule: list[tuple[float, float]],
+        demand_bps: float = math.inf,
+        label: str = "burst",
+    ) -> None:
+        self.net = net
+        self.src = src
+        self.dst = dst
+        self.schedule = sorted(schedule)
+        self.demand_bps = demand_bps
+        self.label = label
+        self.flow: Flow | None = None
+        self._started = False
+
+    def start(self) -> None:
+        """Arm all bursts on the engine (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        eng = self.net.engine
+        for i, (t0, dur) in enumerate(self.schedule):
+            eng.at(max(t0, eng.now), lambda i=i: self._burst_on(i))
+            eng.at(max(t0 + dur, eng.now), lambda: self._burst_off())
+
+    def _burst_on(self, i: int) -> None:
+        if self.flow is None:
+            self.flow = self.net.flows.start_flow(
+                self.src,
+                self.dst,
+                demand_bps=self.demand_bps,
+                label=f"{self.label}[{i}]",
+            )
+
+    def _burst_off(self) -> None:
+        if self.flow is not None:
+            self.net.flows.stop_flow(self.flow)
+            self.flow = None
+
+    def stop(self) -> None:
+        self._burst_off()
+
+    def current_rate(self) -> float:
+        return self.flow.rate_bps if self.flow is not None else 0.0
+
+
+class RandomWalkTraffic:
+    """Cross traffic whose demand performs a clipped random walk.
+
+    Every ``step_s`` the demand moves by a Gaussian step (σ =
+    ``sigma_bps``) and is clipped to ``[lo_bps, hi_bps]``.  Long-run
+    demand is roughly uniform over the clip range, giving paths through
+    the shared link a fluctuating available bandwidth with a stable
+    mean — what the mirror/video site experiments need.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        src: Host | str,
+        dst: Host | str,
+        lo_bps: float,
+        hi_bps: float,
+        sigma_bps: float,
+        step_s: float = 1.0,
+        seed: int | None = None,
+        label: str = "xtraffic",
+    ) -> None:
+        if not 0 <= lo_bps <= hi_bps:
+            raise ValueError("need 0 <= lo_bps <= hi_bps")
+        self.net = net
+        self.src = src
+        self.dst = dst
+        self.lo = lo_bps
+        self.hi = hi_bps
+        self.sigma = sigma_bps
+        self.step_s = step_s
+        self.rng = make_rng(seed)
+        self.label = label
+        self.flow: Flow | None = None
+        self._timer = None
+        self.demand = (lo_bps + hi_bps) / 2.0
+
+    def start(self) -> None:
+        if self.flow is not None:
+            return
+        self.flow = self.net.flows.start_flow(
+            self.src, self.dst, demand_bps=self.demand, label=self.label
+        )
+        self._timer = self.net.engine.every(self.step_s, self._step)
+
+    def _step(self) -> None:
+        if self.flow is None:
+            return
+        self.demand = float(
+            min(self.hi, max(self.lo, self.demand + self.rng.normal(0.0, self.sigma)))
+        )
+        self.net.flows.set_demand(self.flow, self.demand)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self.flow is not None:
+            self.net.flows.stop_flow(self.flow)
+            self.flow = None
+
+
+class ParetoOnOffTraffic:
+    """Heavy-tailed on/off source (self-similar aggregate traffic).
+
+    On and off durations are Pareto(shape α, scale m); during an on
+    period the source sends at ``rate_bps``.  Aggregating many of these
+    produces long-range-dependent link utilization (Willinger et al.),
+    which is what makes 5-second SNMP polls jitter realistically.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        src: Host | str,
+        dst: Host | str,
+        rate_bps: float,
+        shape: float = 1.5,
+        mean_on_s: float = 2.0,
+        mean_off_s: float = 2.0,
+        seed: int | None = None,
+        label: str = "pareto",
+    ) -> None:
+        if shape <= 1.0:
+            raise ValueError("shape must exceed 1 for a finite mean")
+        self.net = net
+        self.src = src
+        self.dst = dst
+        self.rate_bps = rate_bps
+        self.shape = shape
+        # Pareto mean = scale * shape / (shape - 1)  =>  scale from mean
+        self.scale_on = mean_on_s * (shape - 1.0) / shape
+        self.scale_off = mean_off_s * (shape - 1.0) / shape
+        self.rng = make_rng(seed)
+        self.label = label
+        self.flow: Flow | None = None
+        self._running = False
+
+    def _pareto(self, scale: float) -> float:
+        # Inverse CDF: scale * U^(-1/shape)
+        u = self.rng.random()
+        return scale * (1.0 - u) ** (-1.0 / self.shape)
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._go_on()
+
+    def _go_on(self) -> None:
+        if not self._running:
+            return
+        self.flow = self.net.flows.start_flow(
+            self.src, self.dst, demand_bps=self.rate_bps, label=self.label
+        )
+        self.net.engine.after(self._pareto(self.scale_on), self._go_off)
+
+    def _go_off(self) -> None:
+        if self.flow is not None:
+            self.net.flows.stop_flow(self.flow)
+            self.flow = None
+        if self._running:
+            self.net.engine.after(self._pareto(self.scale_off), self._go_on)
+
+    def stop(self) -> None:
+        self._running = False
+        if self.flow is not None:
+            self.net.flows.stop_flow(self.flow)
+            self.flow = None
+
+
+class FileTransfer:
+    """A finite greedy transfer that records its completion statistics."""
+
+    def __init__(
+        self,
+        net: Network,
+        src: Host | str,
+        dst: Host | str,
+        nbytes: float,
+        on_done: Callable[["FileTransfer"], None] | None = None,
+        label: str = "xfer",
+    ) -> None:
+        self.net = net
+        self.src = src
+        self.dst = dst
+        self.nbytes = nbytes
+        self.on_done = on_done
+        self.label = label
+        self.flow: Flow | None = None
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+
+    def start(self) -> None:
+        if self.flow is not None:
+            return
+        self.started_at = self.net.now
+        self.flow = self.net.flows.start_flow(
+            self.src,
+            self.dst,
+            total_bytes=self.nbytes,
+            on_complete=self._done,
+            label=self.label,
+        )
+
+    def _done(self, flow: Flow) -> None:
+        self.finished_at = self.net.now
+        if self.on_done is not None:
+            self.on_done(self)
+
+    @property
+    def complete(self) -> bool:
+        return self.finished_at is not None
+
+    @property
+    def elapsed_s(self) -> float:
+        """Transfer duration; inf until complete."""
+        if self.started_at is None or self.finished_at is None:
+            return math.inf
+        return self.finished_at - self.started_at
+
+    @property
+    def throughput_bps(self) -> float:
+        """Achieved end-to-end throughput; 0 until complete."""
+        el = self.elapsed_s
+        if not math.isfinite(el) or el <= 0:
+            return 0.0
+        return self.nbytes * 8.0 / el

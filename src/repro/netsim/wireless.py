@@ -1,0 +1,97 @@
+"""Wireless LAN modelling: basestations, association, and roaming.
+
+The paper lists "a collector for wireless LANs (802.11)" as under
+development (§3.1) and names mobile-host support as ongoing work
+(§6.2).  The substrate here models an infrastructure-mode WLAN at the
+fidelity Remos cares about:
+
+* A :class:`Basestation` is a shared-medium attachment point: every
+  associated station's traffic crosses the *cell*, so a cell behaves
+  like a hub whose uplink capacity is the air-interface rate.  (This
+  is exactly the "shared Ethernet -> virtual switch" representation the
+  paper uses.)
+* Stations associate with one basestation at a time;
+  :func:`associate` re-homes the host (see
+  :mod:`repro.netsim.mobility`), breaking flows like a real handoff.
+* Each basestation keeps an **association table** — the wireless
+  analogue of the bridge forwarding database — that the Wireless
+  Collector reads over SNMP.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import TopologyError
+from repro.common.units import MBPS
+from repro.netsim.address import IPv4Address, MacAddress
+from repro.netsim.flows import Flow
+from repro.netsim.mobility import rehome_host
+from repro.netsim.topology import Host, Hub, Network, Switch
+
+
+class Basestation(Hub):
+    """An 802.11-style access point: a hub-like cell with an uplink.
+
+    ``air_rate_bps`` is the shared medium rate; station links are
+    created at this rate and the cell's uplink is capped by it too, so
+    max-min sharing over the uplink approximates air-time sharing.
+    """
+
+    kind = "basestation"
+
+    def __init__(self, network: Network, name: str, air_rate_bps: float = 11 * MBPS) -> None:
+        super().__init__(network, name)
+        self.air_rate_bps = air_rate_bps
+        #: management address for the wireless collector's SNMP queries
+        self.management_ip: IPv4Address | None = None
+        self.snmp_reachable = True
+
+    def associated_stations(self) -> list[MacAddress]:
+        """MACs of hosts currently attached to this cell (the
+        association table a real AP exposes)."""
+        macs = []
+        for iface in self.interfaces:
+            if iface.link is None:
+                continue
+            peer = iface.link.other(iface)
+            if isinstance(peer.device, Host) and peer.mac is not None:
+                macs.append(peer.mac)
+        return sorted(macs, key=lambda m: m.value)
+
+
+def add_basestation(
+    net: Network,
+    name: str,
+    uplink_to: Switch,
+    air_rate_bps: float = 11 * MBPS,
+    uplink_bps: float | None = None,
+) -> Basestation:
+    """Create a basestation wired into the distribution switch."""
+    bs = Basestation(net, name, air_rate_bps)
+    net._add_node(bs)
+    net.link(bs, uplink_to, uplink_bps if uplink_bps is not None else air_rate_bps)
+    return bs
+
+
+def associate(net: Network, host: Host, basestation: Basestation) -> list[Flow]:
+    """(Re-)associate a wireless host with a basestation.
+
+    Returns the flows broken by the handoff (empty when the host was
+    already associated there).
+    """
+    if not isinstance(basestation, Basestation):
+        raise TopologyError("can only associate with a basestation")
+    iface = host.interfaces[0] if host.interfaces else None
+    if iface is None or iface.link is None:
+        raise TopologyError(f"{host.name} has no attached interface to hand off")
+    return rehome_host(net, host, basestation, capacity_bps=basestation.air_rate_bps)
+
+
+def current_basestation(host: Host) -> Basestation | None:
+    """The basestation a host is associated with, if any."""
+    for iface in host.interfaces:
+        if iface.link is None:
+            continue
+        dev = iface.link.other(iface).device
+        if isinstance(dev, Basestation):
+            return dev
+    return None

@@ -1,0 +1,61 @@
+"""RPS: the Resource Prediction System toolkit.
+
+Time-series models (AR/MA/ARMA/ARIMA/ARFIMA, mean/last/window
+baselines, refitting template), streaming and client-server predictors,
+an evaluator that monitors fit quality, sensors that feed measurements
+in, and synthetic self-similar host-load generators.
+"""
+
+from repro.rps.evaluator import EvaluationReport, Evaluator
+from repro.rps.hostload import ar_trace, fgn, host_load_trace
+from repro.rps.models import (
+    MultiExpertModel,
+    ArModel,
+    ArimaModel,
+    ArmaModel,
+    FarimaModel,
+    FittedModel,
+    Forecast,
+    LastModel,
+    MaModel,
+    MeanModel,
+    Model,
+    RefittingModel,
+    WindowModel,
+    parse_model,
+)
+from repro.rps.predictor import (
+    ClientServerPredictor,
+    PredictionResponse,
+    StreamingPredictor,
+)
+from repro.rps.sensors import FlowBandwidthSensor, HostLoadSensor
+from repro.rps.service import RpsPredictionService
+
+__all__ = [
+    "EvaluationReport",
+    "Evaluator",
+    "ar_trace",
+    "fgn",
+    "host_load_trace",
+    "ArModel",
+    "ArimaModel",
+    "ArmaModel",
+    "FarimaModel",
+    "FittedModel",
+    "Forecast",
+    "LastModel",
+    "MaModel",
+    "MeanModel",
+    "Model",
+    "RefittingModel",
+    "WindowModel",
+    "parse_model",
+    "MultiExpertModel",
+    "ClientServerPredictor",
+    "PredictionResponse",
+    "StreamingPredictor",
+    "FlowBandwidthSensor",
+    "HostLoadSensor",
+    "RpsPredictionService",
+]

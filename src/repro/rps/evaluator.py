@@ -1,0 +1,99 @@
+"""Online prediction-error evaluation.
+
+"Once a model has been chosen, fitted to historical data, and is in
+use, its error must be monitored to verify that the fit continues to
+hold.  In RPS, this continuous testing (done by the evaluator) is used
+to decide when the model must be refit" (paper §3.3).
+
+The evaluator compares each new observation with the one-step-ahead
+forecast made before it arrived, tracks the mean squared error over a
+sliding window, and flags a refit when the observed MSE exceeds the
+model's own claimed error variance by a tolerance factor.  It also
+reports how well-calibrated the model's variance claims are — the
+"RPS characterizes its own prediction error" property of §5.3.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rps.models.base import FittedModel
+
+
+@dataclass
+class EvaluationReport:
+    """Summary of streaming prediction quality."""
+
+    n: int
+    mse: float
+    #: mean of the model's claimed one-step error variances
+    claimed_var: float
+    #: observed MSE / claimed variance; ~1 means well calibrated
+    calibration_ratio: float
+
+
+class Evaluator:
+    """Wraps a fitted model: feed observations, track errors, decide
+    when to refit."""
+
+    def __init__(
+        self,
+        fitted: FittedModel,
+        window: int = 128,
+        refit_tolerance: float = 2.0,
+        min_samples: int = 16,
+    ) -> None:
+        self.fitted = fitted
+        self.window = window
+        self.refit_tolerance = refit_tolerance
+        self.min_samples = min_samples
+        self._errors: deque[float] = deque(maxlen=window)
+        self._claimed: deque[float] = deque(maxlen=window)
+        self.observations = 0
+        self.refit_flags = 0
+
+    def observe(self, value: float) -> float:
+        """Feed one observation; returns the one-step prediction error.
+
+        The forecast is taken *before* the model absorbs the value, so
+        the error is honest out-of-sample error.
+        """
+        fc = self.fitted.forecast(1)
+        err = float(value - fc.values[0])
+        self._errors.append(err)
+        self._claimed.append(float(fc.variances[0]))
+        self.fitted.step(value)
+        self.observations += 1
+        return err
+
+    def mse(self) -> float:
+        if not self._errors:
+            return 0.0
+        e = np.fromiter(self._errors, dtype=float)
+        return float(np.mean(e**2))
+
+    def claimed_variance(self) -> float:
+        if not self._claimed:
+            return 0.0
+        return float(np.mean(np.fromiter(self._claimed, dtype=float)))
+
+    def needs_refit(self) -> bool:
+        """True when observed error overruns the claimed variance."""
+        if len(self._errors) < self.min_samples:
+            return False
+        claimed = self.claimed_variance()
+        if claimed <= 0:
+            return self.mse() > 0
+        flag = self.mse() > self.refit_tolerance * claimed
+        if flag:
+            self.refit_flags += 1
+        return flag
+
+    def report(self) -> EvaluationReport:
+        mse = self.mse()
+        claimed = self.claimed_variance()
+        ratio = mse / claimed if claimed > 0 else float("inf") if mse > 0 else 1.0
+        return EvaluationReport(len(self._errors), mse, claimed, ratio)

@@ -1,0 +1,186 @@
+"""Model fitting algorithms: Yule-Walker/Levinson-Durbin, the
+innovations algorithm, Hannan-Rissanen, and the GPH long-memory
+estimator.
+
+These are the classical procedures (Box-Jenkins; Brockwell & Davis)
+that the RPS toolkit's "rigorous time series prediction theory" rests
+on (paper §6.1).  Implementations are pure numpy; Levinson-Durbin is
+O(p²) rather than the O(p³) of solving the Toeplitz system directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ModelFitError
+from repro.rps.acf import acvf
+
+
+def levinson_durbin(gamma: np.ndarray) -> tuple[np.ndarray, float]:
+    """Solve the Yule-Walker equations for AR(p).
+
+    ``gamma`` holds autocovariances gamma(0..p).  Returns
+    ``(phi[1..p], sigma2)``: the AR coefficients and the innovation
+    variance.
+    """
+    gamma = np.asarray(gamma, dtype=float)
+    p = gamma.size - 1
+    if p < 1:
+        raise ModelFitError("need at least gamma(0) and gamma(1)")
+    if gamma[0] <= 0:
+        raise ModelFitError("non-positive variance")
+    phi = np.zeros(p)
+    prev = np.zeros(p)
+    v = gamma[0]
+    for k in range(p):
+        if v <= 0:
+            raise ModelFitError("Levinson-Durbin broke down (singular system)")
+        acc = gamma[k + 1] - np.dot(prev[:k], gamma[k:0:-1])
+        refl = acc / v
+        phi[:k] = prev[:k] - refl * prev[:k][::-1]
+        phi[k] = refl
+        v *= 1.0 - refl * refl
+        prev[: k + 1] = phi[: k + 1]
+    return phi, float(max(v, 0.0))
+
+
+def yule_walker(x: np.ndarray, order: int) -> tuple[np.ndarray, float, float]:
+    """Fit AR(order) to data: returns (phi, sigma2, mean)."""
+    x = np.asarray(x, dtype=float)
+    if x.size <= order + 1:
+        raise ModelFitError(f"AR({order}) needs more than {order + 1} points")
+    mu = float(x.mean())
+    gamma = acvf(x, order)
+    if gamma[0] <= 1e-300:
+        # constant series: degenerate but predictable
+        return np.zeros(order), 0.0, mu
+    phi, sigma2 = levinson_durbin(gamma)
+    return phi, sigma2, mu
+
+
+def innovations(gamma: np.ndarray, m: int) -> tuple[np.ndarray, np.ndarray]:
+    """The innovations algorithm (Brockwell & Davis prop. 5.2.2).
+
+    Given autocovariances gamma(0..m), computes the triangular array
+    ``theta[n, j]`` (n = 1..m, j = 1..n) and mean-square errors
+    ``v[0..m]`` of the best linear one-step predictors.  Used to fit
+    MA(q) models: theta[m, 1..q] estimates the MA coefficients.
+    """
+    gamma = np.asarray(gamma, dtype=float)
+    if gamma.size < m + 1:
+        raise ModelFitError("not enough autocovariances for innovations")
+    v = np.zeros(m + 1)
+    theta = np.zeros((m + 1, m + 1))
+    v[0] = gamma[0]
+    if v[0] <= 0:
+        raise ModelFitError("non-positive variance")
+    for n in range(1, m + 1):
+        for k in range(n):
+            s = 0.0
+            for j in range(k):
+                s += theta[k, k - j] * theta[n, n - j] * v[j]
+            theta[n, n - k] = (gamma[n - k] - s) / v[k]
+        s = 0.0
+        for j in range(n):
+            s += theta[n, n - j] ** 2 * v[j]
+        v[n] = gamma[0] - s
+        if v[n] <= 0:
+            v[n] = 1e-12
+    return theta, v
+
+
+def fit_ma_innovations(x: np.ndarray, q: int) -> tuple[np.ndarray, float, float]:
+    """Fit MA(q) by the innovations method: returns (theta, sigma2, mean)."""
+    x = np.asarray(x, dtype=float)
+    n = x.size
+    if n <= q + 2:
+        raise ModelFitError(f"MA({q}) needs more than {q + 2} points")
+    mu = float(x.mean())
+    m = min(max(2 * q, 16), n - 1)
+    gamma = acvf(x, m)
+    if gamma[0] <= 1e-300:
+        return np.zeros(q), 0.0, mu
+    theta, v = innovations(gamma, m)
+    return theta[m, 1 : q + 1].copy(), float(v[m]), mu
+
+
+def hannan_rissanen(
+    x: np.ndarray, p: int, q: int
+) -> tuple[np.ndarray, np.ndarray, float, float]:
+    """Fit ARMA(p, q) by the Hannan-Rissanen two-stage regression.
+
+    Stage 1: a long AR fit provides residual estimates.  Stage 2: OLS of
+    x_t on (x_{t-1..t-p}, e_{t-1..t-q}).  Returns
+    (phi, theta, sigma2, mean).
+    """
+    x = np.asarray(x, dtype=float)
+    n = x.size
+    m = max(20, 2 * (p + q))
+    if n <= m + p + q + 2:
+        raise ModelFitError(f"ARMA({p},{q}) needs more than {m + p + q + 2} points")
+    mu = float(x.mean())
+    xc = x - mu
+    if q == 0:
+        phi, sigma2, _ = yule_walker(x, p)
+        return phi, np.zeros(0), sigma2, mu
+    # Stage 1: long AR for residuals.
+    phi_long, _, _ = yule_walker(x, m)
+    e = np.zeros(n)
+    for t in range(m, n):
+        e[t] = xc[t] - np.dot(phi_long, xc[t - m : t][::-1])
+    # Stage 2: regression.
+    start = m + max(p, q)
+    rows = n - start
+    cols = p + q
+    design = np.empty((rows, cols))
+    for i in range(p):
+        design[:, i] = xc[start - 1 - i : n - 1 - i]
+    for j in range(q):
+        design[:, p + j] = e[start - 1 - j : n - 1 - j]
+    target = xc[start:]
+    coef, *_ = np.linalg.lstsq(design, target, rcond=None)
+    phi = coef[:p]
+    theta = coef[p:]
+    resid = target - design @ coef
+    sigma2 = float(np.mean(resid**2))
+    return phi, theta, sigma2, mu
+
+
+def gph_estimate(x: np.ndarray, power: float = 0.5) -> float:
+    """Geweke-Porter-Hudak log-periodogram estimate of the memory
+    parameter ``d`` (clipped to [-0.49, 0.49] for stationarity)."""
+    x = np.asarray(x, dtype=float)
+    n = x.size
+    if n < 32:
+        raise ModelFitError("GPH needs at least 32 points")
+    xc = x - x.mean()
+    m = max(4, int(n**power))
+    freqs = 2.0 * np.pi * np.arange(1, m + 1) / n
+    fx = np.fft.rfft(xc)[1 : m + 1]
+    periodogram = (np.abs(fx) ** 2) / (2.0 * np.pi * n)
+    periodogram = np.maximum(periodogram, 1e-300)
+    reg_x = np.log(4.0 * np.sin(freqs / 2.0) ** 2)
+    reg_y = np.log(periodogram)
+    slope = np.polyfit(reg_x, reg_y, 1)[0]
+    d = -slope
+    return float(np.clip(d, -0.49, 0.49))
+
+
+def psi_weights(phi: np.ndarray, theta: np.ndarray, k: int) -> np.ndarray:
+    """MA(inf) weights psi_0..psi_{k-1} of an ARMA(p, q) model.
+
+    psi_0 = 1; psi_j = theta_j + sum_{i=1..min(j,p)} phi_i psi_{j-i}.
+    The h-step forecast error variance is sigma2 * sum_{j<h} psi_j².
+    """
+    phi = np.asarray(phi, dtype=float)
+    theta = np.asarray(theta, dtype=float)
+    psi = np.zeros(max(k, 1))
+    psi[0] = 1.0
+    for j in range(1, k):
+        val = theta[j - 1] if j - 1 < theta.size else 0.0
+        upto = min(j, phi.size)
+        if upto:
+            # psi[j-i] for i = 1..upto
+            val += np.dot(phi[:upto], psi[j - upto : j][::-1])
+        psi[j] = val
+    return psi[:k]

@@ -1,0 +1,114 @@
+"""Synthetic host-load traces.
+
+The paper's host-load results build on real traces of Unix load average
+(Dinda, "The statistical properties of host load"): load is
+long-range dependent / self-similar and well modelled by AR(16) or
+better.  We cannot ship those traces, so this module generates
+synthetic loads with the same statistical character:
+
+* :func:`fgn` — exact fractional Gaussian noise by Davies-Harte
+  circulant embedding, Hurst parameter H (long-range dependence for
+  H > 0.5).
+* :func:`ar_trace` — a stationary AR(p) process with prescribed
+  coefficients (the short-memory component).
+* :func:`host_load_trace` — the shipped composite: positive, epochal
+  (occasional mean shifts, another property Dinda reports), fGn +
+  AR-correlated texture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import make_rng
+
+
+def fgn(n: int, hurst: float, seed=None) -> np.ndarray:
+    """Fractional Gaussian noise, unit variance, via Davies-Harte.
+
+    Exact for any stationary covariance the circulant embedding keeps
+    non-negative definite — always true for fGn autocovariances.
+    """
+    if not 0.0 < hurst < 1.0:
+        raise ValueError("hurst must be in (0, 1)")
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = make_rng(seed)
+    if abs(hurst - 0.5) < 1e-12:
+        return rng.standard_normal(n)
+    # autocovariance of fGn increments
+    k = np.arange(n + 1, dtype=float)
+    gamma = 0.5 * (
+        np.abs(k + 1) ** (2 * hurst)
+        - 2 * np.abs(k) ** (2 * hurst)
+        + np.abs(k - 1) ** (2 * hurst)
+    )
+    # first row of the circulant embedding of the (n+1)x(n+1) Toeplitz
+    row = np.concatenate([gamma, gamma[-2:0:-1]])
+    eig = np.fft.fft(row).real
+    eig = np.maximum(eig, 0.0)  # clamp tiny negative round-off
+    m = row.size
+    w = rng.standard_normal(m) + 1j * rng.standard_normal(m)
+    f = np.fft.fft(np.sqrt(eig / (2.0 * m)) * w)
+    return f.real[:n] * np.sqrt(2.0)
+
+
+def ar_trace(
+    n: int, phi: np.ndarray, sigma: float = 1.0, seed=None, burn_in: int = 200
+) -> np.ndarray:
+    """A stationary AR(p) sample path with coefficients ``phi``."""
+    phi = np.asarray(phi, dtype=float)
+    p = phi.size
+    rng = make_rng(seed)
+    total = n + burn_in
+    x = np.zeros(total + p)
+    noise = rng.normal(0.0, sigma, total)
+    for t in range(total):
+        x[t + p] = np.dot(phi, x[t : t + p][::-1]) + noise[t]
+    return x[p + burn_in :]
+
+
+def host_load_trace(
+    n: int,
+    mean: float = 1.0,
+    hurst: float = 0.8,
+    texture_scale: float = 0.3,
+    epoch_mean_s: float = 600.0,
+    epoch_jump: float = 0.5,
+    smoothing_s: float = 0.0,
+    dt: float = 1.0,
+    seed=None,
+) -> np.ndarray:
+    """A synthetic load-average trace (positive, self-similar, epochal).
+
+    ``epoch_mean_s`` controls how often the baseline level jumps
+    (exponential epoch lengths); ``texture_scale`` scales the fGn
+    component relative to the mean.  ``smoothing_s`` applies the
+    exponential filter the Unix kernel uses to compute load averages
+    (time constant in seconds; 0 disables) — real /proc loadavg series
+    are EWMA-smoothed demand, which is what makes them predictable out
+    to tens of seconds (Dinda & O'Hallaron).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = make_rng(seed)
+    base = fgn(n, hurst, rng) * texture_scale * mean
+    # epochal mean shifts
+    level = np.empty(n)
+    t = 0
+    current = mean
+    while t < n:
+        length = max(1, int(rng.exponential(epoch_mean_s / dt)))
+        level[t : t + length] = current
+        current = max(0.1 * mean, current + rng.normal(0.0, epoch_jump * mean))
+        t += length
+    trace = np.maximum(level + base, 0.0)
+    if smoothing_s > 0.0:
+        alpha = float(np.exp(-dt / smoothing_s))
+        out = np.empty_like(trace)
+        acc = trace[0]
+        for i, v in enumerate(trace):
+            acc = alpha * acc + (1.0 - alpha) * v
+            out[i] = acc
+        trace = out
+    return trace

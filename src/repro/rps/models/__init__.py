@@ -1,0 +1,30 @@
+"""RPS predictive models: Box-Jenkins linear family plus baselines."""
+
+from repro.rps.models.base import FittedModel, Forecast, Model, parse_model
+from repro.rps.models.mean import LastModel, MeanModel
+from repro.rps.models.window import WindowModel
+from repro.rps.models.ar import ArModel
+from repro.rps.models.ma import MaModel
+from repro.rps.models.arma import ArmaModel
+from repro.rps.models.arima import ArimaModel
+from repro.rps.models.farima import FarimaModel
+from repro.rps.models.refit import RefittingModel
+from repro.rps.models.experts import FittedMultiExpert, MultiExpertModel
+
+__all__ = [
+    "FittedModel",
+    "Forecast",
+    "Model",
+    "parse_model",
+    "LastModel",
+    "MeanModel",
+    "WindowModel",
+    "ArModel",
+    "MaModel",
+    "ArmaModel",
+    "ArimaModel",
+    "FarimaModel",
+    "RefittingModel",
+    "MultiExpertModel",
+    "FittedMultiExpert",
+]

@@ -1,0 +1,71 @@
+"""Autoregressive models — the workhorse of RPS host-load prediction.
+
+The paper found "AR models of order 16 or better to be appropriate for
+prediction of host load" (§3.3, citing Dinda & O'Hallaron).  Fitting is
+Yule-Walker via Levinson-Durbin; forecasting is the standard recursion;
+error variances come from the psi-weight expansion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.common.errors import ModelFitError
+from repro.rps.fit import psi_weights, yule_walker
+from repro.rps.models.base import FittedModel, Forecast, Model
+
+
+class FittedAr(FittedModel):
+    """A fitted AR(p): coefficients, innovation variance, and the last
+    p observations as streaming state."""
+
+    def __init__(self, phi: np.ndarray, sigma2: float, mu: float, tail: np.ndarray) -> None:
+        p = phi.size
+        self.spec = f"AR({p})"
+        self.phi = phi
+        self.sigma2 = sigma2
+        self.mu = mu
+        self._state: deque[float] = deque(
+            (float(v) for v in tail[-p:]), maxlen=max(p, 1)
+        )
+
+    def step(self, value: float) -> None:
+        self._state.append(float(value))
+
+    def forecast(self, horizon: int) -> Forecast:
+        p = self.phi.size
+        if horizon < 1:
+            return Forecast(np.empty(0), np.empty(0))
+        # centered state, most recent last
+        hist = np.fromiter(self._state, dtype=float) - self.mu
+        ext = np.concatenate([hist, np.zeros(horizon)])
+        n = hist.size
+        for k in range(horizon):
+            upto = min(p, n + k)
+            if upto:
+                window = ext[n + k - upto : n + k][::-1]
+                ext[n + k] = np.dot(self.phi[:upto], window)
+        preds = ext[n:] + self.mu
+        psi = psi_weights(self.phi, np.zeros(0), horizon)
+        variances = self.sigma2 * np.cumsum(psi**2)
+        return Forecast(preds, variances)
+
+
+class ArModel(Model):
+    """AR(p) fit by Yule-Walker / Levinson-Durbin."""
+
+    def __init__(self, order: int) -> None:
+        if order < 1:
+            raise ModelFitError("AR order must be >= 1")
+        self.order = order
+
+    @property
+    def spec(self) -> str:
+        return f"AR({self.order})"
+
+    def fit(self, data: np.ndarray) -> FittedAr:
+        data = np.asarray(data, dtype=float)
+        phi, sigma2, mu = yule_walker(data, self.order)
+        return FittedAr(phi, sigma2, mu, data)

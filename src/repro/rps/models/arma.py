@@ -1,0 +1,105 @@
+"""ARMA models fitted by Hannan-Rissanen."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.common.errors import ModelFitError
+from repro.rps.fit import hannan_rissanen, psi_weights
+from repro.rps.models.base import FittedModel, Forecast, Model
+
+
+class FittedArma(FittedModel):
+    """A fitted ARMA(p, q): state is the last p observations and the
+    last q innovation estimates."""
+
+    def __init__(
+        self,
+        phi: np.ndarray,
+        theta: np.ndarray,
+        sigma2: float,
+        mu: float,
+        data: np.ndarray,
+    ) -> None:
+        p, q = phi.size, theta.size
+        self.spec = f"ARMA({p},{q})"
+        self.phi = phi
+        self.theta = theta
+        self.sigma2 = sigma2
+        self.mu = mu
+        self._values: deque[float] = deque(maxlen=max(p, 1))
+        self._resid: deque[float] = deque([0.0] * q, maxlen=max(q, 1))
+        data = np.asarray(data, dtype=float)
+        warm = data[-max(4 * (p + q) + 8, 32) :]
+        for v in warm:
+            self.step(float(v))
+
+    def _one_step(self) -> float:
+        vals = np.fromiter(self._values, dtype=float)[::-1] - self.mu  # newest first
+        resid = np.fromiter(self._resid, dtype=float)[::-1]
+        pred = self.mu
+        upto = min(self.phi.size, vals.size)
+        if upto:
+            pred += float(np.dot(self.phi[:upto], vals[:upto]))
+        upto = min(self.theta.size, resid.size)
+        if upto:
+            pred += float(np.dot(self.theta[:upto], resid[:upto]))
+        return pred
+
+    def step(self, value: float) -> None:
+        e = value - self._one_step() if self._values else 0.0
+        self._values.append(float(value))
+        self._resid.append(e)
+
+    def forecast(self, horizon: int) -> Forecast:
+        p, q = self.phi.size, self.theta.size
+        vals = np.fromiter(self._values, dtype=float) - self.mu  # oldest first
+        resid = np.fromiter(self._resid, dtype=float)
+        n = vals.size
+        ext = np.concatenate([vals, np.zeros(horizon)])
+        for k in range(horizon):
+            pred = 0.0
+            upto = min(p, n + k)
+            if upto:
+                pred += float(np.dot(self.phi[:upto], ext[n + k - upto : n + k][::-1]))
+            # MA part: only residuals with index <= now contribute
+            for j in range(1, q + 1):
+                lag = j - (k + 1)  # e_{t+k+1-j} = e_{t-lag}
+                if 0 <= lag < resid.size:
+                    pred += self.theta[j - 1] * resid[resid.size - 1 - lag]
+            ext[n + k] = pred
+        preds = ext[n:] + self.mu
+        psi = psi_weights(self.phi, self.theta, horizon)
+        variances = self.sigma2 * np.cumsum(psi**2)
+        return Forecast(preds, variances)
+
+
+class ArmaModel(Model):
+    """ARMA(p, q) fit by the Hannan-Rissanen two-stage regression."""
+
+    def __init__(self, p: int, q: int) -> None:
+        if p < 0 or q < 0 or (p == 0 and q == 0):
+            raise ModelFitError("ARMA needs p >= 0, q >= 0, p+q > 0")
+        self.p = p
+        self.q = q
+
+    @property
+    def spec(self) -> str:
+        return f"ARMA({self.p},{self.q})"
+
+    def fit(self, data: np.ndarray) -> FittedArma:
+        data = np.asarray(data, dtype=float)
+        if self.p and not self.q:
+            from repro.rps.fit import yule_walker
+
+            phi, sigma2, mu = yule_walker(data, self.p)
+            return FittedArma(phi, np.zeros(0), sigma2, mu, data)
+        if self.q and not self.p:
+            from repro.rps.fit import fit_ma_innovations
+
+            theta, sigma2, mu = fit_ma_innovations(data, self.q)
+            return FittedArma(np.zeros(0), theta, sigma2, mu, data)
+        phi, theta, sigma2, mu = hannan_rissanen(data, self.p, self.q)
+        return FittedArma(phi, theta, sigma2, mu, data)

@@ -1,0 +1,148 @@
+"""Model interfaces for the RPS toolkit.
+
+A :class:`Model` is a fitting recipe; ``fit(data)`` produces a
+:class:`FittedModel` holding whatever state prediction needs.  Fitted
+models support the streaming regime the paper describes (§2.3): absorb
+one observation with :meth:`FittedModel.step`, ask for k-step-ahead
+forecasts with :meth:`FittedModel.forecast` — each forecast carries its
+error variance, because "we can characterize variance, which
+applications need to make decisions based on the predictions" (§6.1).
+
+``parse_model`` turns specs like ``"AR(16)"`` or ``"ARIMA(2,1,2)"``
+into model objects — the form in which applications choose models.
+"""
+
+from __future__ import annotations
+
+import re
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import PredictionError
+
+
+@dataclass
+class Forecast:
+    """k-step-ahead predictions with per-step error variances."""
+
+    values: np.ndarray
+    variances: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        self.variances = np.asarray(self.variances, dtype=float)
+        if self.values.shape != self.variances.shape:
+            raise PredictionError("values/variances shape mismatch")
+
+    def interval(self, confidence: float = 0.95) -> tuple[np.ndarray, np.ndarray]:
+        """(lower, upper) prediction bands at the given confidence.
+
+        Gaussian innovations give normal prediction errors for linear
+        models, so the band is ``value ± z * sqrt(variance)`` — the
+        variance characterization the paper highlights ("applications
+        need [variance] to make decisions based on the predictions",
+        §6.1), in the form an application actually uses.
+        """
+        if not 0.0 < confidence < 1.0:
+            raise PredictionError("confidence must be in (0, 1)")
+        from scipy.stats import norm
+
+        z = float(norm.ppf(0.5 + confidence / 2.0))
+        half = z * np.sqrt(np.maximum(self.variances, 0.0))
+        return self.values - half, self.values + half
+
+
+class FittedModel(ABC):
+    """A model fitted to data, ready to stream and forecast."""
+
+    #: spec string of the model that produced this fit
+    spec: str = "?"
+
+    @abstractmethod
+    def step(self, value: float) -> None:
+        """Absorb one new observation."""
+
+    @abstractmethod
+    def forecast(self, horizon: int) -> Forecast:
+        """Predict the next ``horizon`` observations."""
+
+    def step_many(self, values: np.ndarray) -> None:
+        for v in np.asarray(values, dtype=float):
+            self.step(float(v))
+
+
+class Model(ABC):
+    """A fitting recipe for one model family."""
+
+    @property
+    @abstractmethod
+    def spec(self) -> str:
+        """Canonical spec string, e.g. ``"AR(16)"``."""
+
+    @abstractmethod
+    def fit(self, data: np.ndarray) -> FittedModel:
+        """Fit to historical data (oldest first)."""
+
+    def __repr__(self) -> str:
+        return f"Model({self.spec})"
+
+
+_SPEC_RE = re.compile(r"^([A-Z]+)(?:\(([^()]*)\))?$")
+
+
+def parse_model(spec: str) -> Model:
+    """Parse a model spec string.
+
+    Supported: ``MEAN``, ``LAST``, ``BM(w)`` (windowed mean), ``AR(p)``,
+    ``MA(q)``, ``ARMA(p,q)``, ``ARIMA(p,d,q)``, ``ARFIMA(p,q)``
+    (fractional d estimated from the data),
+    ``REFIT(<inner spec>,n)`` for a periodically refit model, and
+    ``EXPERTS(<spec>+<spec>+...)`` for NWS-style model selection.
+    """
+    from repro.rps.models.ar import ArModel
+    from repro.rps.models.arima import ArimaModel
+    from repro.rps.models.arma import ArmaModel
+    from repro.rps.models.experts import MultiExpertModel
+    from repro.rps.models.farima import FarimaModel
+    from repro.rps.models.ma import MaModel
+    from repro.rps.models.mean import LastModel, MeanModel
+    from repro.rps.models.refit import RefittingModel
+    from repro.rps.models.window import WindowModel
+
+    spec = spec.strip().upper()
+    if spec.startswith("REFIT(") and spec.endswith(")"):
+        inner = spec[len("REFIT(") : -1]
+        idx = inner.rfind(",")
+        if idx < 0:
+            raise PredictionError(f"REFIT needs (model, interval): {spec!r}")
+        return RefittingModel(parse_model(inner[:idx]), int(inner[idx + 1 :]))
+    if spec.startswith("EXPERTS(") and spec.endswith(")"):
+        inner = spec[len("EXPERTS(") : -1]
+        parts = [p for p in inner.split("+") if p]
+        if not parts:
+            raise PredictionError(f"EXPERTS needs at least one model: {spec!r}")
+        return MultiExpertModel([parse_model(p) for p in parts])
+    m = _SPEC_RE.match(spec)
+    if not m:
+        raise PredictionError(f"bad model spec {spec!r}")
+    name, args_s = m.group(1), m.group(2)
+    args = [int(a) for a in args_s.split(",")] if args_s else []
+    if name == "MEAN" and not args:
+        return MeanModel()
+    if name == "LAST" and not args:
+        return LastModel()
+    if name == "BM" and len(args) == 1:
+        return WindowModel(args[0])
+    if name == "AR" and len(args) == 1:
+        return ArModel(args[0])
+    if name == "MA" and len(args) == 1:
+        return MaModel(args[0])
+    if name == "ARMA" and len(args) == 2:
+        return ArmaModel(args[0], args[1])
+    if name == "ARIMA" and len(args) == 3:
+        return ArimaModel(args[0], args[1], args[2])
+    if name == "ARFIMA" and len(args) == 2:
+        return FarimaModel(args[0], args[1])
+    raise PredictionError(f"unknown model spec {spec!r}")

@@ -1,0 +1,78 @@
+"""Multi-expert model selection (the NWS approach).
+
+Paper §3.3: "In RPS, this continuous testing (done by the evaluator) is
+used to decide when the model must be refit.  In contrast, the Network
+Weather Service uses similar feedback to decide which of a set of
+models to use next in a variant of the multiple expert machine learning
+approach."
+
+This module implements that contrasting strategy so the two feedback
+designs can be compared head-to-head (see the ablation benchmarks):
+every candidate model runs in parallel; per step each expert's one-step
+error updates an exponentially weighted MSE score; forecasts come from
+the currently best-scoring expert.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ModelFitError
+from repro.rps.models.base import FittedModel, Forecast, Model
+
+
+class FittedMultiExpert(FittedModel):
+    """All experts stream in parallel; the best one answers."""
+
+    def __init__(self, fitted: "list[FittedModel]", decay: float) -> None:
+        self.spec = f"EXPERTS({'+'.join(f.spec for f in fitted)})"
+        self._experts = fitted
+        self._decay = decay
+        #: exponentially weighted squared one-step error per expert
+        self._scores = np.zeros(len(fitted))
+        self._seen = 0
+        #: how many times each expert answered a forecast (diagnostics)
+        self.wins = np.zeros(len(fitted), dtype=int)
+
+    def step(self, value: float) -> None:
+        for i, f in enumerate(self._experts):
+            err = value - float(f.forecast(1).values[0])
+            self._scores[i] = self._decay * self._scores[i] + (1 - self._decay) * err * err
+            f.step(value)
+        self._seen += 1
+
+    def best_index(self) -> int:
+        return int(np.argmin(self._scores))
+
+    def forecast(self, horizon: int) -> Forecast:
+        best = self.best_index()
+        self.wins[best] += 1
+        return self._experts[best].forecast(horizon)
+
+
+class MultiExpertModel(Model):
+    """NWS-style selection over a pool of candidate models."""
+
+    def __init__(self, experts: "list[Model]", decay: float = 0.9) -> None:
+        if not experts:
+            raise ModelFitError("need at least one expert")
+        if not 0.0 < decay < 1.0:
+            raise ModelFitError("decay must be in (0, 1)")
+        self.experts = list(experts)
+        self.decay = decay
+
+    @property
+    def spec(self) -> str:
+        return f"EXPERTS({'+'.join(m.spec for m in self.experts)})"
+
+    def fit(self, data: np.ndarray) -> FittedMultiExpert:
+        data = np.asarray(data, dtype=float)
+        fitted: list[FittedModel] = []
+        for m in self.experts:
+            try:
+                fitted.append(m.fit(data))
+            except ModelFitError:
+                continue  # an expert that can't fit simply sits out
+        if not fitted:
+            raise ModelFitError("no expert could fit the data")
+        return FittedMultiExpert(fitted, self.decay)

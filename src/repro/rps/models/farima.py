@@ -1,0 +1,102 @@
+"""Fractionally integrated ARFIMA models for long-range dependence.
+
+"A fractionally integrated ARIMA model which is useful for modeling
+long-range dependence such as arises from self-similar signals"
+(paper §3.3).  The memory parameter ``d`` is estimated with the GPH
+log-periodogram regression; the series is fractionally differenced
+with the truncated binomial filter; an ARMA(p, q) is fitted to the
+result.  Forecasts invert the filter recursively.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.common.errors import ModelFitError
+from repro.rps.acf import fractional_diff_weights
+from repro.rps.fit import gph_estimate, psi_weights
+from repro.rps.models.arma import ArmaModel, FittedArma
+from repro.rps.models.base import FittedModel, Forecast, Model
+
+#: truncation length of the fractional differencing filter
+FILTER_LEN = 256
+
+
+class FittedFarima(FittedModel):
+    """State: recent raw history (for the long-memory filter) plus the
+    inner fitted ARMA on the fractionally differenced series."""
+
+    def __init__(
+        self, inner: FittedArma, d: float, mu: float, history: np.ndarray, p: int, q: int
+    ) -> None:
+        self.spec = f"ARFIMA({p},{q})"
+        self.inner = inner
+        self.d = d
+        self.mu = mu
+        self._pi = fractional_diff_weights(d, FILTER_LEN)
+        self._hist: deque[float] = deque(
+            (float(v) for v in history[-FILTER_LEN:]), maxlen=FILTER_LEN
+        )
+
+    def _filtered(self) -> float:
+        """w_t = sum_j pi_j (x_{t-j} - mu) for the newest x."""
+        h = np.fromiter(self._hist, dtype=float)[::-1] - self.mu  # newest first
+        upto = min(h.size, self._pi.size)
+        return float(np.dot(self._pi[:upto], h[:upto]))
+
+    def step(self, value: float) -> None:
+        self._hist.append(float(value))
+        self.inner.step(self._filtered())
+
+    def forecast(self, horizon: int) -> Forecast:
+        inner_fc = self.inner.forecast(horizon)
+        w_hat = inner_fc.values  # forecasts of the filtered series
+        # Invert (1-B)^d: x_t = w_t - sum_{j>=1} pi_j x_{t-j} (centered).
+        hist = np.fromiter(self._hist, dtype=float) - self.mu
+        ext = np.concatenate([hist, np.zeros(horizon)])
+        n = hist.size
+        for k in range(horizon):
+            upto = min(self._pi.size - 1, n + k)
+            acc = w_hat[k]
+            if upto:
+                acc -= float(
+                    np.dot(self._pi[1 : upto + 1], ext[n + k - upto : n + k][::-1])
+                )
+            ext[n + k] = acc
+        preds = ext[n:] + self.mu
+        # psi weights of the combined ARMA * (1-B)^{-d} operator.
+        psi_arma = psi_weights(self.inner.phi, self.inner.theta, horizon)
+        binom = fractional_diff_weights(-self.d, horizon)  # (1-B)^{-d}
+        psi = np.convolve(psi_arma, binom)[:horizon]
+        variances = self.inner.sigma2 * np.cumsum(psi**2)
+        return Forecast(preds, variances)
+
+
+class FarimaModel(Model):
+    """ARFIMA(p, d, q) with GPH-estimated fractional d."""
+
+    def __init__(self, p: int, q: int) -> None:
+        if p < 0 or q < 0:
+            raise ModelFitError("orders must be >= 0")
+        self.p, self.q = p, q
+
+    @property
+    def spec(self) -> str:
+        return f"ARFIMA({self.p},{self.q})"
+
+    def fit(self, data: np.ndarray) -> FittedFarima:
+        data = np.asarray(data, dtype=float)
+        if data.size < 64:
+            raise ModelFitError("ARFIMA needs at least 64 observations")
+        mu = float(data.mean())
+        d = gph_estimate(data)
+        pi = fractional_diff_weights(d, min(FILTER_LEN, data.size))
+        centered = data - mu
+        filtered = np.convolve(centered, pi)[: data.size]
+        # Drop the filter warm-up region before fitting.
+        warm = min(pi.size, data.size // 4)
+        inner_model = ArmaModel(max(self.p, 1), self.q) if (self.p or self.q) else ArmaModel(1, 0)
+        inner = inner_model.fit(filtered[warm:])
+        return FittedFarima(inner, d, mu, data, self.p, self.q)

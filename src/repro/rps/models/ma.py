@@ -1,0 +1,73 @@
+"""Moving-average models, fitted with the innovations algorithm."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.common.errors import ModelFitError
+from repro.rps.fit import fit_ma_innovations
+from repro.rps.models.base import FittedModel, Forecast, Model
+
+
+class FittedMa(FittedModel):
+    """A fitted MA(q): coefficients plus the last q innovation
+    estimates (one-step prediction errors) as streaming state."""
+
+    def __init__(self, theta: np.ndarray, sigma2: float, mu: float, data: np.ndarray) -> None:
+        q = theta.size
+        self.spec = f"MA({q})"
+        self.theta = theta
+        self.sigma2 = sigma2
+        self.mu = mu
+        self._resid: deque[float] = deque([0.0] * q, maxlen=max(q, 1))
+        # Replay the fitting data to estimate current innovations.
+        for v in np.asarray(data, dtype=float)[-4 * q - 8 :]:
+            self.step(float(v))
+
+    def _one_step(self) -> float:
+        # x̂_{t+1} = mu + sum_j theta_j e_{t+1-j}
+        resid = np.fromiter(self._resid, dtype=float)  # oldest first
+        return self.mu + float(np.dot(self.theta, resid[::-1]))
+
+    def step(self, value: float) -> None:
+        e = value - self._one_step()
+        self._resid.append(e)
+
+    def forecast(self, horizon: int) -> Forecast:
+        q = self.theta.size
+        resid = np.fromiter(self._resid, dtype=float)[::-1]  # newest first
+        preds = np.full(horizon, self.mu)
+        for k in range(1, min(horizon, q) + 1):
+            # x̂_{t+k} = mu + sum_{j=k..q} theta_j e_{t+k-j}
+            acc = 0.0
+            for j in range(k, q + 1):
+                lag = j - k  # e_{t-lag}
+                if lag < resid.size:
+                    acc += self.theta[j - 1] * resid[lag]
+            preds[k - 1] += acc
+        psi = np.concatenate([[1.0], self.theta])
+        var = np.cumsum(psi**2)
+        variances = np.empty(horizon)
+        for k in range(horizon):
+            variances[k] = self.sigma2 * var[min(k, q)]
+        return Forecast(preds, variances)
+
+
+class MaModel(Model):
+    """MA(q) fit by the innovations method."""
+
+    def __init__(self, order: int) -> None:
+        if order < 1:
+            raise ModelFitError("MA order must be >= 1")
+        self.order = order
+
+    @property
+    def spec(self) -> str:
+        return f"MA({self.order})"
+
+    def fit(self, data: np.ndarray) -> FittedMa:
+        data = np.asarray(data, dtype=float)
+        theta, sigma2, mu = fit_ma_innovations(data, self.order)
+        return FittedMa(theta, sigma2, mu, data)

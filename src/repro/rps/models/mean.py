@@ -1,0 +1,94 @@
+"""Trivial baseline models: long-term mean and last value.
+
+These anchor the cost spectrum of Fig. 7 — essentially free to fit and
+step — and are surprisingly competitive baselines for some signals,
+which is why RPS carries them (paper §3.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ModelFitError
+from repro.rps.models.base import FittedModel, Forecast, Model
+
+
+class FittedMean(FittedModel):
+    """Predicts the running mean of everything seen; the error variance
+    is the running variance (Welford's online update)."""
+
+    spec = "MEAN"
+
+    def __init__(self, data: np.ndarray) -> None:
+        data = np.asarray(data, dtype=float)
+        self._n = data.size
+        self._mean = float(data.mean())
+        self._m2 = float(((data - self._mean) ** 2).sum())
+
+    def step(self, value: float) -> None:
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+
+    def forecast(self, horizon: int) -> Forecast:
+        var = self._m2 / self._n if self._n > 0 else 0.0
+        return Forecast(
+            np.full(horizon, self._mean), np.full(horizon, max(var, 0.0))
+        )
+
+
+class MeanModel(Model):
+    """Long-term average predictor."""
+
+    @property
+    def spec(self) -> str:
+        return "MEAN"
+
+    def fit(self, data: np.ndarray) -> FittedMean:
+        data = np.asarray(data, dtype=float)
+        if data.size < 1:
+            raise ModelFitError("MEAN needs at least one observation")
+        return FittedMean(data)
+
+
+class FittedLast(FittedModel):
+    """Predicts the last observed value (a random-walk forecast).
+
+    The h-step error variance estimate is h times the running mean
+    squared first difference — the random-walk scaling.
+    """
+
+    spec = "LAST"
+
+    def __init__(self, data: np.ndarray) -> None:
+        data = np.asarray(data, dtype=float)
+        self._last = float(data[-1])
+        diffs = np.diff(data)
+        self._n_diffs = diffs.size
+        self._sq_sum = float((diffs**2).sum())
+
+    def step(self, value: float) -> None:
+        d = value - self._last
+        self._sq_sum += d * d
+        self._n_diffs += 1
+        self._last = value
+
+    def forecast(self, horizon: int) -> Forecast:
+        step_var = self._sq_sum / self._n_diffs if self._n_diffs else 0.0
+        h = np.arange(1, horizon + 1, dtype=float)
+        return Forecast(np.full(horizon, self._last), step_var * h)
+
+
+class LastModel(Model):
+    """Last-value predictor."""
+
+    @property
+    def spec(self) -> str:
+        return "LAST"
+
+    def fit(self, data: np.ndarray) -> FittedLast:
+        data = np.asarray(data, dtype=float)
+        if data.size < 1:
+            raise ModelFitError("LAST needs at least one observation")
+        return FittedLast(data)

@@ -1,0 +1,68 @@
+"""Periodically refitting model template.
+
+RPS provides "a template that creates a periodically re-fitting version
+of any model" (paper §3.3).  The wrapper keeps a sliding window of
+recent observations and refits the inner model every
+``refit_interval`` steps — or immediately when asked to (the evaluator
+uses this when the error characterization degrades).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.common.errors import ModelFitError
+from repro.rps.models.base import FittedModel, Forecast, Model
+
+
+class FittedRefitting(FittedModel):
+    def __init__(self, model: Model, data: np.ndarray, interval: int, window: int) -> None:
+        self.spec = f"REFIT({model.spec},{interval})"
+        self._model = model
+        self._interval = interval
+        self._buf: deque[float] = deque(
+            (float(v) for v in np.asarray(data, dtype=float)), maxlen=window
+        )
+        self._inner = model.fit(np.fromiter(self._buf, dtype=float))
+        self._since_fit = 0
+        #: number of refits performed (diagnostics)
+        self.refits = 0
+
+    def step(self, value: float) -> None:
+        self._buf.append(float(value))
+        self._inner.step(value)
+        self._since_fit += 1
+        if self._since_fit >= self._interval:
+            self.refit()
+
+    def refit(self) -> None:
+        """Refit the inner model on the current window now."""
+        try:
+            self._inner = self._model.fit(np.fromiter(self._buf, dtype=float))
+            self.refits += 1
+        except ModelFitError:
+            pass  # keep the old fit when the window is degenerate
+        self._since_fit = 0
+
+    def forecast(self, horizon: int) -> Forecast:
+        return self._inner.forecast(horizon)
+
+
+class RefittingModel(Model):
+    """Wrap any model to refit every ``refit_interval`` steps."""
+
+    def __init__(self, inner: Model, refit_interval: int, window: int | None = None) -> None:
+        if refit_interval < 1:
+            raise ModelFitError("refit interval must be >= 1")
+        self.inner = inner
+        self.refit_interval = refit_interval
+        self.window = window or max(4 * refit_interval, 256)
+
+    @property
+    def spec(self) -> str:
+        return f"REFIT({self.inner.spec},{self.refit_interval})"
+
+    def fit(self, data: np.ndarray) -> FittedRefitting:
+        return FittedRefitting(self.inner, data, self.refit_interval, self.window)

@@ -1,0 +1,70 @@
+"""Windowed-average predictor (RPS's "BM"/windowed mean model)."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.common.errors import ModelFitError
+from repro.rps.models.base import FittedModel, Forecast, Model
+
+
+class FittedWindow(FittedModel):
+    """Predicts the mean of the last ``w`` observations.
+
+    The error variance is tracked online as the mean squared one-step
+    prediction error over the fitting data and stream so far.
+    """
+
+    def __init__(self, data: np.ndarray, window: int) -> None:
+        self.spec = f"BM({window})"
+        self._window = window
+        data = np.asarray(data, dtype=float)
+        self._buf: deque[float] = deque(maxlen=window)
+        self._sum = 0.0  # running sum of the buffer, O(1) per step
+        self._err_sq = 0.0
+        self._err_n = 0
+        # replay the fit data so the error estimate is populated
+        warm = min(data.size, 4 * window)
+        for v in data[:-warm] if warm < data.size else []:
+            self._push(float(v))
+        for v in data[-warm:]:
+            self.step(float(v))
+
+    def _push(self, value: float) -> None:
+        if len(self._buf) == self._window:
+            self._sum -= self._buf[0]
+        self._buf.append(value)
+        self._sum += value
+
+    def step(self, value: float) -> None:
+        if self._buf:
+            err = value - self._sum / len(self._buf)
+            self._err_sq += err * err
+            self._err_n += 1
+        self._push(value)
+
+    def forecast(self, horizon: int) -> Forecast:
+        pred = self._sum / len(self._buf) if self._buf else 0.0
+        var = self._err_sq / self._err_n if self._err_n else 0.0
+        return Forecast(np.full(horizon, pred), np.full(horizon, var))
+
+
+class WindowModel(Model):
+    """Mean-of-last-w predictor."""
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ModelFitError("window must be >= 1")
+        self.window = window
+
+    @property
+    def spec(self) -> str:
+        return f"BM({self.window})"
+
+    def fit(self, data: np.ndarray) -> FittedWindow:
+        data = np.asarray(data, dtype=float)
+        if data.size < 1:
+            raise ModelFitError("BM needs at least one observation")
+        return FittedWindow(data, self.window)

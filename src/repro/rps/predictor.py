@@ -1,0 +1,105 @@
+"""RPS prediction runtimes: streaming and client-server.
+
+"Predictors can operate in a client-server mode, turning a vector of
+measurements into a single vector of predictions, or in a streaming
+mode, transforming a stream of measurements into a stream of
+(vector-valued) predictions.  The advantage of the client-server form
+is that it is stateless, while the advantage of the streaming mode is
+that a single model fitting operation can be amortized over multiple
+predictions" (paper §2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ModelFitError, PredictionError
+from repro.rps.evaluator import Evaluator
+from repro.rps.models.base import Forecast, Model, parse_model
+
+
+@dataclass
+class PredictionResponse:
+    """What a client-server request returns."""
+
+    spec: str
+    forecast: Forecast
+
+
+class ClientServerPredictor:
+    """Stateless request-response prediction.
+
+    Every request pays the full fit + predict cost; nothing is retained
+    between calls — exactly the trade-off Fig. 7 quantifies.
+    """
+
+    def __init__(self, default_spec: str = "AR(16)") -> None:
+        self.default_spec = default_spec
+        self.requests_served = 0
+
+    def request(
+        self, history: np.ndarray, horizon: int, spec: str | None = None
+    ) -> PredictionResponse:
+        """Fit ``spec`` to ``history`` and forecast ``horizon`` steps."""
+        model = parse_model(spec or self.default_spec)
+        fitted = model.fit(np.asarray(history, dtype=float))
+        self.requests_served += 1
+        return PredictionResponse(fitted.spec, fitted.forecast(horizon))
+
+
+class StreamingPredictor:
+    """Stateful streaming prediction with evaluator-driven refitting.
+
+    Fit once, then each ``observe`` absorbs one measurement and returns
+    the forecast vector; the embedded :class:`Evaluator` monitors
+    one-step error and triggers a refit on the trailing window when the
+    fit stops holding.
+    """
+
+    def __init__(
+        self,
+        spec: str,
+        history: np.ndarray,
+        horizon: int = 1,
+        refit_window: int = 600,
+        refit_tolerance: float = 2.0,
+    ) -> None:
+        self.model: Model = parse_model(spec)
+        self.horizon = horizon
+        self._window = list(np.asarray(history, dtype=float)[-refit_window:])
+        self._refit_window = refit_window
+        if len(self._window) < 2:
+            raise PredictionError("streaming predictor needs history to fit")
+        self.fitted = self.model.fit(np.asarray(self._window))
+        self.evaluator = Evaluator(self.fitted, refit_tolerance=refit_tolerance)
+        self.refits = 0
+        self.samples_seen = 0
+
+    def observe(self, value: float) -> Forecast:
+        """Absorb one measurement, maybe refit, return the forecast."""
+        self.samples_seen += 1
+        self._window.append(float(value))
+        if len(self._window) > self._refit_window:
+            self._window.pop(0)
+        self.evaluator.observe(float(value))
+        if self.evaluator.needs_refit():
+            self._refit()
+        return self.fitted.forecast(self.horizon)
+
+    def _refit(self) -> None:
+        try:
+            self.fitted = self.model.fit(np.asarray(self._window))
+        except ModelFitError:
+            return  # degenerate window: keep the old fit
+        self.evaluator = Evaluator(
+            self.fitted,
+            window=self.evaluator.window,
+            refit_tolerance=self.evaluator.refit_tolerance,
+        )
+        self.refits += 1
+
+    def forecast(self) -> Forecast:
+        """Current forecast without absorbing a new measurement."""
+        return self.fitted.forecast(self.horizon)

@@ -1,0 +1,48 @@
+"""The prediction service the Modeler plugs into.
+
+Adapts RPS's client-server predictor to the narrow interface
+:class:`repro.modeler.api.PredictionService` expects: given a history
+vector, forecast ``horizon`` steps with error variances.  "This
+location is the appropriate choice" for prediction in the Remos
+architecture (paper §2.3) — history flows up from the collectors, the
+fit happens next to the application that asked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ModelFitError
+from repro.rps.predictor import ClientServerPredictor
+
+
+class RpsPredictionService:
+    """Client-server RPS with a configurable model and a fallback.
+
+    If the preferred model cannot be fitted (short or degenerate
+    history), falls back through simpler specs — a monitoring system
+    must answer with *something* sensible rather than fail the query.
+    """
+
+    def __init__(
+        self,
+        spec: str = "AR(16)",
+        fallbacks: tuple[str, ...] = ("AR(4)", "BM(8)", "LAST"),
+    ) -> None:
+        self.spec = spec
+        self.fallbacks = fallbacks
+        self.server = ClientServerPredictor(spec)
+
+    def predict_series(
+        self, values: np.ndarray, horizon: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        values = np.asarray(values, dtype=float)
+        for spec in (self.spec, *self.fallbacks):
+            try:
+                resp = self.server.request(values, horizon, spec)
+            except ModelFitError:
+                continue
+            return resp.forecast.values, resp.forecast.variances
+        # Last resort: constant forecast with zero claimed variance.
+        last = float(values[-1]) if values.size else 0.0
+        return np.full(horizon, last), np.zeros(horizon)

@@ -1,0 +1,64 @@
+"""Tests for load-aware video server selection (§5.5's diagnosis)."""
+
+import pytest
+
+from repro.common.units import MBPS
+from repro.apps.video import VideoSpec, choose_and_stream
+from repro.deploy import deploy_wan
+from repro.netsim.builders import SiteSpec, build_multisite_wan
+
+
+def _world():
+    w = build_multisite_wan(
+        [
+            SiteSpec("client", access_bps=100 * MBPS, n_hosts=2),
+            SiteSpec("fast", access_bps=0.8 * MBPS, n_hosts=2),
+            SiteSpec("slow", access_bps=0.5 * MBPS, n_hosts=2),
+        ]
+    )
+    return w, deploy_wan(w)
+
+
+SPEC = VideoSpec(duration_s=15.0, fps=24.0, i_frame_bytes=11000.0, seed=2)
+
+
+class TestLoadAwareSelection:
+    def test_overloaded_best_server_demoted(self):
+        w, dep = _world()
+        servers = {"fast": w.host("fast", 0), "slow": w.host("slow", 0)}
+        # the fast server is overloaded (load 8: swamped CPU)
+        w.host("fast", 0).load_source = lambda t: 8.0
+        picked_blind, _ = choose_and_stream(
+            dep.modeler, w.net, w.host("client", 0), servers, SPEC,
+            efficiencies={"fast": 0.4},
+        )
+        w2, dep2 = _world()
+        servers2 = {"fast": w2.host("fast", 0), "slow": w2.host("slow", 0)}
+        w2.host("fast", 0).load_source = lambda t: 8.0
+        picked_aware, results = choose_and_stream(
+            dep2.modeler, w2.net, w2.host("client", 0), servers2, SPEC,
+            efficiencies={"fast": 0.4}, consider_load=True,
+        )
+        assert picked_blind == "fast"  # bandwidth alone falls for it
+        assert picked_aware == "slow"  # load-aware avoids the overload
+        # and the avoided pick indeed yields more frames
+        assert results["slow"].frames_received > results["fast"].frames_received
+
+    def test_healthy_servers_rank_by_bandwidth(self):
+        w, dep = _world()
+        servers = {"fast": w.host("fast", 0), "slow": w.host("slow", 0)}
+        picked, _ = choose_and_stream(
+            dep.modeler, w.net, w.host("client", 0), servers, SPEC,
+            consider_load=True,
+        )
+        assert picked == "fast"
+
+    def test_threshold_respected(self):
+        w, dep = _world()
+        servers = {"fast": w.host("fast", 0), "slow": w.host("slow", 0)}
+        w.host("fast", 0).load_source = lambda t: 1.5  # busy but ok
+        picked, _ = choose_and_stream(
+            dep.modeler, w.net, w.host("client", 0), servers, SPEC,
+            consider_load=True, load_threshold=2.0,
+        )
+        assert picked == "fast"

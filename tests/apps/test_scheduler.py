@@ -1,0 +1,91 @@
+"""Tests for Remos-guided compute-node selection (§6.3)."""
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.common.units import MBPS
+from repro.apps.scheduler import JobSpec, NodeSelector
+from repro.deploy import deploy_wan
+from repro.netsim.agents import attach_trace
+from repro.netsim.builders import SiteSpec, build_multisite_wan
+
+import numpy as np
+
+
+@pytest.fixture
+def grid():
+    """Two well-connected sites plus a distant one behind a thin link."""
+    w = build_multisite_wan(
+        [
+            SiteSpec("near1", access_bps=50 * MBPS, n_hosts=4),
+            SiteSpec("near2", access_bps=50 * MBPS, n_hosts=4),
+            SiteSpec("far", access_bps=1 * MBPS, n_hosts=4),
+        ]
+    )
+    dep = deploy_wan(w)
+    candidates = [w.host(s, i) for s in ("near1", "near2", "far") for i in (0, 1)]
+    return w, dep, candidates
+
+
+class TestSelection:
+    def test_prefers_colocated_nodes(self, grid):
+        w, dep, candidates = grid
+        sel = NodeSelector(dep.modeler, candidates)
+        p = sel.select(JobSpec(n_nodes=2))
+        # both picked nodes sit in one site: LAN bandwidth beats WAN
+        assert p.min_pair_bandwidth_bps == pytest.approx(100 * MBPS, rel=0.05)
+
+    def test_avoids_thin_site_when_bandwidth_matters(self, grid):
+        w, dep, candidates = grid
+        sel = NodeSelector(dep.modeler, candidates)
+        p = sel.select(JobSpec(n_nodes=4, min_pair_bandwidth_bps=10 * MBPS))
+        far_ips = {str(w.host("far", i).ip) for i in (0, 1)}
+        assert not (set(p.hosts) & far_ips)
+        assert p.min_pair_bandwidth_bps >= 10 * MBPS
+
+    def test_infeasible_bandwidth_raises(self, grid):
+        w, dep, candidates = grid
+        sel = NodeSelector(dep.modeler, candidates)
+        # 5 nodes need the far site, but far can't do 10 Mbps pairs
+        with pytest.raises(QueryError):
+            sel.select(JobSpec(n_nodes=5, min_pair_bandwidth_bps=10 * MBPS))
+
+    def test_load_ceiling_respected(self, grid):
+        w, dep, candidates = grid
+        # load up the near1 machines
+        for i in (0, 1):
+            w.host("near1", i).load_source = lambda t: 5.0
+        sel = NodeSelector(dep.modeler, candidates)
+        p = sel.select(JobSpec(n_nodes=2, max_load=2.0))
+        near1_ips = {str(w.host("near1", i).ip) for i in (0, 1)}
+        assert not (set(p.hosts) & near1_ips)
+        assert p.max_load <= 2.0
+
+    def test_latency_ceiling(self, grid):
+        w, dep, candidates = grid
+        sel = NodeSelector(dep.modeler, candidates)
+        # sub-WAN latency forces a single-site set
+        p = sel.select(JobSpec(n_nodes=2, max_latency_s=0.005))
+        assert p.max_latency_s <= 0.005
+
+    def test_verify_accounts_for_contention(self, grid):
+        w, dep, candidates = grid
+        sel = NodeSelector(dep.modeler, candidates)
+        p = sel.select(JobSpec(n_nodes=4), verify=True)
+        assert p.verified_joint_bps is not None
+        # all-pairs flows contend: the joint figure cannot beat the
+        # per-pair bottleneck
+        assert p.verified_joint_bps <= p.min_pair_bandwidth_bps * 1.01
+
+    def test_too_many_nodes_requested(self, grid):
+        w, dep, candidates = grid
+        sel = NodeSelector(dep.modeler, candidates)
+        with pytest.raises(QueryError):
+            sel.select(JobSpec(n_nodes=len(candidates) + 1))
+
+    def test_validation(self, grid):
+        w, dep, candidates = grid
+        with pytest.raises(ValueError):
+            JobSpec(n_nodes=1)
+        with pytest.raises(ValueError):
+            NodeSelector(dep.modeler, candidates[:1])

@@ -1,0 +1,111 @@
+"""Tests for dynamic video handoff (the §5.5 / ref [16] extension)."""
+
+import pytest
+
+from repro.common.units import MBPS
+from repro.apps.video import HandoffVideoSession, VideoSession, VideoSpec
+from repro.collectors.benchmark_collector import BenchmarkConfig
+from repro.deploy import deploy_wan
+from repro.netsim.builders import SiteSpec, build_multisite_wan
+
+
+def _world():
+    w = build_multisite_wan(
+        [
+            SiteSpec("client", access_bps=100 * MBPS, n_hosts=2),
+            SiteSpec("alpha", access_bps=0.6 * MBPS, n_hosts=3),
+            SiteSpec("beta", access_bps=0.6 * MBPS, n_hosts=3),
+        ]
+    )
+    dep = deploy_wan(
+        w, bench_config=BenchmarkConfig(probe_bytes=30_000, max_age_s=3.0,
+                                        max_probe_s=5.0)
+    )
+    return w, dep
+
+
+SPEC = VideoSpec(duration_s=40.0, fps=24.0, i_frame_bytes=11000.0, seed=9)
+
+
+class TestHandoff:
+    def test_no_handoff_when_stable(self):
+        w, dep = _world()
+        servers = {"alpha": w.host("alpha", 0), "beta": w.host("beta", 0)}
+        session = HandoffVideoSession(dep.modeler, w.net, w.host("client", 0),
+                                      servers, SPEC)
+        final, result = session.run()
+        assert session.handoffs == []
+        assert result.frames_received > 0
+
+    def test_switches_when_server_collapses(self):
+        w, dep = _world()
+        servers = {"alpha": w.host("alpha", 0), "beta": w.host("beta", 0)}
+        # alpha collapses 10 s in: cross traffic eats 90% of its access link
+        w.net.engine.at(
+            w.net.now + 10.0,
+            lambda: w.net.flows.start_flow(
+                w.host("alpha", 1), w.host("client", 1),
+                demand_bps=0.54 * MBPS, label="crush",
+            ),
+        )
+        session = HandoffVideoSession(
+            dep.modeler, w.net, w.host("client", 0), servers, SPEC,
+            start_site="alpha",
+        )
+        final, result = session.run()
+        assert session.handoffs, "must have handed off"
+        assert final == "beta"
+        t, src, dst = session.handoffs[0]
+        assert (src, dst) == ("alpha", "beta")
+
+    def test_handoff_beats_sticking(self):
+        """Frames received with handoff exceed staying on the
+        collapsed server."""
+
+        def run(with_handoff: bool) -> int:
+            w, dep = _world()
+            servers = {"alpha": w.host("alpha", 0), "beta": w.host("beta", 0)}
+            w.net.engine.at(
+                w.net.now + 8.0,
+                lambda: w.net.flows.start_flow(
+                    w.host("alpha", 1), w.host("client", 1),
+                    demand_bps=0.54 * MBPS, label="crush",
+                ),
+            )
+            if with_handoff:
+                session = HandoffVideoSession(
+                    dep.modeler, w.net, w.host("client", 0), servers, SPEC,
+                    start_site="alpha",
+                )
+                _, result = session.run()
+            else:
+                result = VideoSession(
+                    w.net, servers["alpha"], w.host("client", 0), SPEC
+                ).run()
+            return result.frames_received
+
+        assert run(True) > run(False)
+
+    def test_handoff_gap_loses_frames(self):
+        """The dead air during handoff costs the frames due in the gap
+        — handoff is not free."""
+        w, dep = _world()
+        servers = {"alpha": w.host("alpha", 0), "beta": w.host("beta", 0)}
+        w.net.engine.at(
+            w.net.now + 10.0,
+            lambda: w.net.flows.start_flow(
+                w.host("alpha", 1), w.host("client", 1),
+                demand_bps=0.54 * MBPS, label="crush",
+            ),
+        )
+        session = HandoffVideoSession(
+            dep.modeler, w.net, w.host("client", 0), servers, SPEC,
+            start_site="alpha", handoff_gap_s=2.0,
+        )
+        final, result = session.run()
+        assert result.frames_received < result.total_frames
+
+    def test_requires_servers(self):
+        w, dep = _world()
+        with pytest.raises(ValueError):
+            HandoffVideoSession(dep.modeler, w.net, w.host("client", 0), {}, SPEC)

@@ -1,0 +1,191 @@
+"""Tests for Benchmark Collector, directory, and Master Collector."""
+
+import pytest
+
+from repro.common.errors import QueryError, UnknownHostError
+from repro.common.units import MBPS
+from repro.netsim.builders import SiteSpec, build_multisite_wan
+from repro.netsim.traffic import RandomWalkTraffic
+from repro.netsim.address import IPv4Address
+from repro.collectors.base import TopologyRequest
+from repro.collectors.benchmark_collector import BenchmarkCollector, BenchmarkConfig
+from repro.collectors.directory import CollectorDirectory
+from repro.deploy import deploy_wan
+
+
+@pytest.fixture
+def wan():
+    return build_multisite_wan(
+        [
+            SiteSpec("cmu", access_bps=10 * MBPS, n_hosts=3),
+            SiteSpec("eth", access_bps=60 * MBPS, n_hosts=3),
+            SiteSpec("dsl", access_bps=0.08 * MBPS, n_hosts=3),
+        ]
+    )
+
+
+class TestBenchmarkCollector:
+    def test_probe_measures_bottleneck(self, wan):
+        a = BenchmarkCollector("cmu", wan.net, wan.host("cmu", 2))
+        b = BenchmarkCollector("eth", wan.net, wan.host("eth", 2))
+        a.add_peer(b)
+        m = a.probe("eth")
+        assert m.throughput_bps == pytest.approx(10 * MBPS, rel=0.01)
+        assert m.src_site == "cmu" and m.dst_site == "eth"
+
+    def test_probe_takes_simulated_time(self, wan):
+        a = BenchmarkCollector(
+            "cmu", wan.net, wan.host("cmu", 2), BenchmarkConfig(probe_bytes=1_250_000)
+        )
+        b = BenchmarkCollector("eth", wan.net, wan.host("eth", 2))
+        a.add_peer(b)
+        t0 = wan.net.now
+        a.probe("eth")
+        # 1.25 MB at 10 Mbps = 1 s
+        assert wan.net.now - t0 == pytest.approx(1.0, rel=0.01)
+
+    def test_slow_link_probe_capped(self, wan):
+        cfg = BenchmarkConfig(probe_bytes=10_000_000, max_probe_s=5.0)
+        a = BenchmarkCollector("cmu", wan.net, wan.host("cmu", 2), cfg)
+        b = BenchmarkCollector("dsl", wan.net, wan.host("dsl", 2))
+        a.add_peer(b)
+        t0 = wan.net.now
+        m = a.probe("dsl")
+        assert wan.net.now - t0 == pytest.approx(5.0, rel=0.01)
+        assert m.throughput_bps == pytest.approx(0.08 * MBPS, rel=0.02)
+
+    def test_measurement_cached_until_stale(self, wan):
+        cfg = BenchmarkConfig(max_age_s=100.0)
+        a = BenchmarkCollector("cmu", wan.net, wan.host("cmu", 2), cfg)
+        b = BenchmarkCollector("eth", wan.net, wan.host("eth", 2))
+        a.add_peer(b)
+        m1 = a.probe("eth")
+        m2 = a.measurement("eth")
+        assert m2 is m1  # served from cache
+        wan.net.engine.run_until(wan.net.now + 200.0)
+        m3 = a.measurement("eth")
+        assert m3 is not m1  # re-probed
+
+    def test_measurement_stale_without_probe(self, wan):
+        cfg = BenchmarkConfig(max_age_s=1.0)
+        a = BenchmarkCollector("cmu", wan.net, wan.host("cmu", 2), cfg)
+        b = BenchmarkCollector("eth", wan.net, wan.host("eth", 2))
+        a.add_peer(b)
+        a.probe("eth")
+        wan.net.engine.run_until(wan.net.now + 10.0)
+        m = a.measurement("eth", allow_probe=False)
+        assert m.stale
+
+    def test_statistics(self, wan):
+        a = BenchmarkCollector("cmu", wan.net, wan.host("cmu", 2))
+        b = BenchmarkCollector("eth", wan.net, wan.host("eth", 2))
+        a.add_peer(b)
+        for _ in range(4):
+            a.probe("eth")
+        mean, std, n = a.statistics("eth")
+        assert n == 4
+        assert mean == pytest.approx(10 * MBPS, rel=0.02)
+        assert std < 0.1 * MBPS
+
+    def test_unknown_peer_raises(self, wan):
+        a = BenchmarkCollector("cmu", wan.net, wan.host("cmu", 2))
+        with pytest.raises(QueryError):
+            a.probe("nowhere")
+        with pytest.raises(QueryError):
+            a.statistics("nowhere")
+
+    def test_self_peer_rejected(self, wan):
+        a = BenchmarkCollector("cmu", wan.net, wan.host("cmu", 2))
+        with pytest.raises(ValueError):
+            a.add_peer(a)
+
+    def test_periodic_probing(self, wan):
+        cfg = BenchmarkConfig(period_s=30.0)
+        a = BenchmarkCollector("cmu", wan.net, wan.host("cmu", 2), cfg)
+        b = BenchmarkCollector("eth", wan.net, wan.host("eth", 2))
+        a.add_peer(b)
+        a.start_periodic()
+        wan.net.engine.run_until(100.0)
+        a.stop_periodic()
+        assert a.probes_run >= 3
+        assert len(a.history["eth"]) == a.probes_run
+
+
+class TestDirectory:
+    def test_longest_prefix_lookup(self, wan):
+        dep = deploy_wan(wan)
+        reg = dep.directory.lookup("10.10.0.10")
+        assert reg.site == "cmu"
+        with pytest.raises(UnknownHostError):
+            dep.directory.lookup("172.16.0.1")
+
+    def test_sites_listing(self, wan):
+        dep = deploy_wan(wan)
+        assert dep.directory.sites() == ["cmu", "dsl", "eth"]
+
+
+class TestMasterCollector:
+    def test_single_site_query_delegates(self, wan):
+        dep = deploy_wan(wan)
+        resp = dep.master.topology(
+            TopologyRequest.of([wan.host("cmu", 0).ip, wan.host("cmu", 1).ip])
+        )
+        ids = [n.id for n in resp.graph.nodes()]
+        assert str(wan.host("cmu", 0).ip) in ids
+        # no WAN stitching needed within one site
+        assert not any(n.kind == "cloud" for n in resp.graph.nodes())
+
+    def test_multi_site_query_is_stitched(self, wan):
+        dep = deploy_wan(wan)
+        resp = dep.master.topology(
+            TopologyRequest.of([wan.host("cmu", 0).ip, wan.host("eth", 0).ip])
+        )
+        g = resp.graph
+        path = g.path(str(wan.host("cmu", 0).ip), str(wan.host("eth", 0).ip))
+        assert "cmu-gw" in path and "eth-gw" in path
+        e = g.edge("cmu-gw", "eth-gw")
+        assert e.capacity_bps == pytest.approx(10 * MBPS, rel=0.05)
+
+    def test_three_site_query(self, wan):
+        dep = deploy_wan(wan)
+        ips = [wan.host(s, 0).ip for s in ("cmu", "eth", "dsl")]
+        resp = dep.master.topology(TopologyRequest.of(ips))
+        g = resp.graph
+        # all three logical edges present
+        assert g.has_edge("cmu-gw", "eth-gw")
+        assert g.has_edge("cmu-gw", "dsl-gw")
+        assert g.has_edge("dsl-gw", "eth-gw")
+
+    def test_covers(self, wan):
+        dep = deploy_wan(wan)
+        assert dep.master.covers(IPv4Address("10.10.0.10"))
+        assert not dep.master.covers(IPv4Address("172.16.0.1"))
+
+    def test_unresolved_propagates(self, wan):
+        dep = deploy_wan(wan)
+        resp = dep.master.topology(
+            TopologyRequest.of([wan.host("cmu", 0).ip, "172.16.0.1"])
+        )
+        assert "172.16.0.1" in resp.unresolved
+
+    def test_hierarchical_master(self, wan):
+        """A master registered inside another master's directory."""
+        dep = deploy_wan(wan)
+        from repro.collectors.directory import CollectorDirectory
+        from repro.collectors.master import MasterCollector
+
+        top_dir = CollectorDirectory()
+        top_dir.register(
+            dep.master,
+            ["10.0.0.0/8", "192.168.0.0/16"],
+            site="everything",
+            remote=True,
+        )
+        top = MasterCollector("top", wan.net, top_dir)
+        resp = top.topology(
+            TopologyRequest.of([wan.host("cmu", 0).ip, wan.host("eth", 0).ip])
+        )
+        path = resp.graph.path(
+            str(wan.host("cmu", 0).ip), str(wan.host("eth", 0).ip)
+        )
+        assert "cmu-gw" in path and "eth-gw" in path

@@ -1,0 +1,219 @@
+"""Tests for the Bridge Collector and its L2 inference algorithm."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.units import MBPS
+from repro.netsim.address import MacAddress
+from repro.netsim.builders import build_hub_lan, build_switched_lan
+from repro.netsim.topology import Network
+from repro.snmp.agent import instrument_network
+from repro.collectors.bridge_collector import (
+    Attachment,
+    BridgeCollector,
+    infer_l2_topology,
+)
+
+
+def _collector_for_lan(lan):
+    world = instrument_network(lan.net)
+    switches = getattr(lan, "switches", None) or [lan.switch]
+    return BridgeCollector(
+        "bc", lan.net, world, lan.hosts[0].ip,
+        {sw.name: sw.management_ip for sw in switches},
+    )
+
+
+class TestStartupDiscovery:
+    def test_all_hosts_located_correctly(self):
+        lan = build_switched_lan(40, fanout=4)
+        bc = _collector_for_lan(lan)
+        db = bc.startup()
+        for h in lan.hosts:
+            iface = h.interfaces[0]
+            att = db.locate(iface.mac)
+            assert att.switch == iface.peer().device.name
+            assert att.port == iface.peer().index
+
+    def test_router_is_a_station(self):
+        lan = build_switched_lan(8, fanout=8)
+        bc = _collector_for_lan(lan)
+        db = bc.startup()
+        gw_iface = next(i for i in lan.router.interfaces if i.ip is not None)
+        att = db.locate(gw_iface.mac)
+        assert att.switch == gw_iface.peer().device.name
+
+    def test_switch_adjacency_matches_ground_truth(self):
+        lan = build_switched_lan(64, fanout=4)
+        bc = _collector_for_lan(lan)
+        db = bc.startup()
+        # reconstruct inferred switch adjacency through segments
+        inferred = set()
+        for seg in db.segments.values():
+            sws = [sp.switch for sp in seg.switch_ports]
+            for i in range(len(sws)):
+                for j in range(i + 1, len(sws)):
+                    inferred.add(frozenset((sws[i], sws[j])))
+        actual = set()
+        for sw in lan.switches:
+            for iface in sw.interfaces:
+                peer = iface.peer()
+                if peer is not None and peer.device in lan.switches:
+                    actual.add(frozenset((sw.name, peer.device.name)))
+        assert inferred == actual
+
+    def test_hub_detected_as_shared_segment(self):
+        hl = build_hub_lan(n_hub_hosts=4, n_switch_hosts=2)
+        bc = _collector_for_lan(hl)
+        db = bc.startup()
+        shared = [s for s in db.segments.values() if len(s.stations) > 1]
+        assert len(shared) == 1
+        assert len(shared[0].stations) == 4  # the hub hosts
+
+    def test_direct_hosts_not_in_segments(self):
+        hl = build_hub_lan(n_hub_hosts=3, n_switch_hosts=2)
+        bc = _collector_for_lan(hl)
+        db = bc.startup()
+        for h in hl.hosts:
+            if h.name.startswith("sw_h"):
+                att = db.locate(h.interfaces[0].mac)
+                assert att.switch == "sw0"
+
+    def test_unreachable_switch_skipped(self):
+        lan = build_switched_lan(16, fanout=4)
+        lan.switches[1].snmp_reachable = False
+        bc = _collector_for_lan(lan)
+        db = bc.startup()
+        assert lan.switches[1].name not in db.switch_macs
+
+    def test_path_endpoints(self):
+        lan = build_switched_lan(20, fanout=4)
+        bc = _collector_for_lan(lan)
+        bc.startup()
+        a = lan.hosts[0].interfaces[0].mac
+        b = lan.hosts[19].interfaces[0].mac
+        path = bc.path(a, b)
+        assert path[0] == ("mac", str(a))
+        assert path[-1] == ("mac", str(b))
+        kinds = {n[0] for n in path[1:-1]}
+        assert kinds <= {"sw", "seg"}
+
+    def test_knows(self):
+        lan = build_switched_lan(4)
+        bc = _collector_for_lan(lan)
+        bc.startup()
+        assert bc.knows(lan.hosts[0].interfaces[0].mac)
+        assert not bc.knows(MacAddress(0xDEADBEEF))
+
+    def test_lazy_startup_on_first_query(self):
+        lan = build_switched_lan(4)
+        bc = _collector_for_lan(lan)
+        assert bc.db is None
+        bc.locate(lan.hosts[0].interfaces[0].mac)
+        assert bc.db is not None
+
+
+class TestLocationMonitoring:
+    def test_verify_location_no_move(self):
+        lan = build_switched_lan(8, fanout=8)
+        bc = _collector_for_lan(lan)
+        bc.startup()
+        mac = lan.hosts[0].interfaces[0].mac
+        assert bc.verify_location(mac) is False
+        assert bc.moves_seen == 0
+
+    def test_monitor_tick_counts(self):
+        lan = build_switched_lan(8, fanout=8)
+        bc = _collector_for_lan(lan)
+        bc.startup()
+        assert bc.monitor_tick() == 0
+
+    def test_detects_host_move(self):
+        lan = build_switched_lan(32, fanout=4)
+        bc = _collector_for_lan(lan)
+        bc.startup()
+        h = lan.hosts[0]
+        mac = h.interfaces[0].mac
+        old_att = bc.locate(mac)
+        # Simulate a move: rewrite the FDBs as if the host re-homed to
+        # another leaf switch (wireless roaming / re-cabling).
+        new_leaf = lan.hosts[31].interfaces[0].peer().device
+        new_port = lan.hosts[31].interfaces[0].peer().index
+        from repro.netsim.bridging import populate_fdbs
+
+        # physically relocate: detach and re-link is not allowed after
+        # freeze, so emulate at the FDB level.
+        for sw in lan.switches:
+            if mac in sw.fdb:
+                if sw is new_leaf:
+                    sw.fdb[mac] = new_port
+                else:
+                    # point toward new_leaf: reuse path of a host already there
+                    other = lan.hosts[31].interfaces[0].mac
+                    sw.fdb[mac] = sw.fdb[other]
+        assert bc.verify_location(mac) is True
+        assert bc.moves_seen == 1
+        new_att = bc.locate(mac)
+        assert new_att != old_att
+        assert new_att.switch == new_leaf.name
+
+
+@st.composite
+def _random_tree_lan(draw):
+    """A random switch tree with hosts hanging off random switches."""
+    n_switches = draw(st.integers(1, 7))
+    n_hosts = draw(st.integers(1, 12))
+    net = Network()
+    switches = [net.add_switch(f"s{i}") for i in range(n_switches)]
+    for i in range(1, n_switches):
+        parent = draw(st.integers(0, i - 1))
+        net.link(switches[parent], switches[i], 100 * MBPS)
+    hosts = []
+    for j in range(n_hosts):
+        h = net.add_host(f"h{j}")
+        target = draw(st.integers(0, n_switches - 1))
+        ln = net.link(h, switches[target], 100 * MBPS)
+        net.assign_ip(ln.a, f"10.0.{j // 200}.{1 + j % 200}", "10.0.0.0/16")
+        hosts.append((h, switches[target]))
+    for k, sw in enumerate(switches):
+        net.assign_ip(sw.interfaces[0], f"10.0.254.{k + 1}", "10.0.0.0/16")
+        sw.management_ip = sw.interfaces[0].ip
+    net.freeze()
+    return net, switches, hosts
+
+
+class TestInferenceProperty:
+    @given(_random_tree_lan())
+    @settings(max_examples=40, deadline=None)
+    def test_inference_recovers_random_trees(self, world):
+        """For any random switch tree, inference from the FDBs must
+        recover every host's true attachment and the switch adjacency."""
+        net, switches, hosts = world
+        fdbs = {sw.name: dict(sw.fdb) for sw in switches}
+        # strip self entries as the collector does
+        from repro.netsim.bridging import SELF_PORT
+
+        for name in fdbs:
+            fdbs[name] = {m: p for m, p in fdbs[name].items() if p != SELF_PORT}
+        mgmt = {sw.name: sw.management_mac() for sw in switches}
+        db = infer_l2_topology(fdbs, mgmt)
+        for h, true_sw in hosts:
+            iface = h.interfaces[0]
+            att = db.locate(iface.mac)
+            assert att.switch == true_sw.name
+            assert att.port == iface.peer().index
+        # adjacency
+        inferred = set()
+        for seg in db.segments.values():
+            sws = sorted(sp.switch for sp in seg.switch_ports)
+            for i in range(len(sws)):
+                for j in range(i + 1, len(sws)):
+                    inferred.add(frozenset((sws[i], sws[j])))
+        actual = set()
+        for sw in switches:
+            for iface in sw.interfaces:
+                peer = iface.peer()
+                if peer is not None and peer.device.kind == "switch":
+                    actual.add(frozenset((sw.name, peer.device.name)))
+        assert inferred == actual

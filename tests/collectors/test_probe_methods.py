@@ -1,0 +1,80 @@
+"""Tests for the lightweight benchmark probe methods (§6.2)."""
+
+import pytest
+
+from repro.common.units import MBPS
+from repro.netsim.builders import SiteSpec, build_multisite_wan
+from repro.collectors.benchmark_collector import BenchmarkCollector, BenchmarkConfig
+
+
+@pytest.fixture
+def wan():
+    w = build_multisite_wan(
+        [
+            SiteSpec("a", access_bps=10 * MBPS, n_hosts=3),
+            SiteSpec("b", access_bps=50 * MBPS, n_hosts=3),
+        ]
+    )
+    return w
+
+
+def _pair(w, method, **kw):
+    cfg = BenchmarkConfig(method=method, **kw)
+    a = BenchmarkCollector("a", w.net, w.host("a", 2), cfg)
+    b = BenchmarkCollector("b", w.net, w.host("b", 2))
+    a.add_peer(b)
+    return a
+
+
+class TestMethods:
+    def test_bad_method_rejected(self):
+        with pytest.raises(ValueError):
+            BenchmarkConfig(method="telepathy")
+
+    def test_bulk_accurate(self, wan):
+        a = _pair(wan, "bulk", probe_bytes=250_000)
+        m = a.probe("b")
+        assert m.throughput_bps == pytest.approx(10 * MBPS, rel=0.01)
+        assert a.bytes_injected == pytest.approx(250_000, rel=0.01)
+
+    def test_packet_pair_cheap_but_noisy(self, wan):
+        a = _pair(wan, "packet_pair")
+        samples = [a.probe("b").throughput_bps for _ in range(30)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(10 * MBPS, rel=0.15)
+        spread = max(samples) - min(samples)
+        assert spread > 0.05 * mean, "packet pair must be noisy"
+        # ~3 KB per probe vs 250 KB for bulk: ~80x less intrusive
+        per_probe = a.bytes_injected / 30
+        assert per_probe < 0.02 * 250_000
+
+    def test_packet_pair_fast(self, wan):
+        a = _pair(wan, "packet_pair")
+        t0 = wan.net.now
+        a.probe("b")
+        assert wan.net.now - t0 < 1.0
+
+    def test_one_way_blind_to_cross_traffic(self, wan):
+        # saturate half the bottleneck
+        wan.net.flows.start_flow(wan.host("a", 1), wan.host("b", 1),
+                                 demand_bps=5 * MBPS)
+        one_way = _pair(wan, "one_way")
+        bulk = _pair(wan, "bulk", probe_bytes=125_000)
+        m1 = one_way.probe("b")
+        m2 = bulk.probe("b")
+        # single-ended sees raw capacity; bulk sees what's left
+        assert m1.throughput_bps == pytest.approx(10 * MBPS, rel=0.01)
+        assert m2.throughput_bps == pytest.approx(5 * MBPS, rel=0.05)
+
+    def test_one_way_injects_least(self, wan):
+        a = _pair(wan, "one_way")
+        a.probe("b")
+        assert a.bytes_injected <= 1_500
+
+    def test_histories_shared_across_methods(self, wan):
+        a = _pair(wan, "packet_pair")
+        for _ in range(4):
+            a.probe("b")
+        mean, std, n = a.statistics("b")
+        assert n == 4
+        assert mean > 0

@@ -1,0 +1,92 @@
+"""Tests for the Wireless Collector."""
+
+import pytest
+
+from repro.common.errors import TopologyError
+from repro.common.units import MBPS
+from repro.netsim.address import MacAddress
+from repro.netsim.builders import build_wireless_lan
+from repro.netsim.wireless import associate
+from repro.snmp.agent import instrument_network
+from repro.collectors.wireless_collector import WirelessCollector
+
+
+@pytest.fixture
+def wlan():
+    wl = build_wireless_lan(n_basestations=3, n_wireless_hosts=6)
+    world = instrument_network(wl.net)
+    wc = WirelessCollector(
+        "wc", wl.net, world, wl.wired_hosts[0].ip,
+        {bs.name: bs.management_ip for bs in wl.basestations},
+    )
+    return wl, world, wc
+
+
+class TestScan:
+    def test_scan_finds_all_cells_and_stations(self, wlan):
+        wl, world, wc = wlan
+        cells = wc.scan()
+        assert set(cells) == {"ap0", "ap1", "ap2"}
+        assert sum(c.station_count for c in cells.values()) == 6
+
+    def test_locate_matches_ground_truth(self, wlan):
+        wl, world, wc = wlan
+        wc.scan()
+        for h in wl.wireless_hosts:
+            mac = h.interfaces[0].mac
+            truth = h.interfaces[0].peer().device.name
+            assert wc.locate(mac).name == truth
+
+    def test_locate_triggers_lazy_scan(self, wlan):
+        wl, world, wc = wlan
+        mac = wl.wireless_hosts[0].interfaces[0].mac
+        assert wc.locate(mac).name == "ap0"
+
+    def test_unknown_station(self, wlan):
+        wl, world, wc = wlan
+        wc.scan()
+        with pytest.raises(TopologyError):
+            wc.locate(MacAddress(0xABCDEF))
+
+    def test_unreachable_ap_skipped(self, wlan):
+        wl, world, wc = wlan
+        wl.basestations[1].snmp_reachable = False
+        cells = wc.scan()
+        assert "ap1" not in cells
+        # stations of ap1 unlocatable
+        orphan = wl.wireless_hosts[1].interfaces[0].mac
+        with pytest.raises(TopologyError):
+            wc.locate(orphan)
+
+
+class TestRoaming:
+    def test_handoff_detected(self, wlan):
+        wl, world, wc = wlan
+        wc.scan()
+        h = wl.wireless_hosts[0]
+        associate(wl.net, h, wl.basestations[2])
+        world.refresh_device(wl.basestations[0])
+        world.refresh_device(wl.basestations[2])
+        moved = wc.monitor_tick()
+        assert moved == 1
+        assert wc.locate(h.interfaces[0].mac).name == "ap2"
+
+    def test_no_false_handoffs(self, wlan):
+        wl, world, wc = wlan
+        wc.scan()
+        assert wc.monitor_tick() == 0
+        assert wc.handoffs_seen == 0
+
+
+class TestBandwidthEstimates:
+    def test_share_divides_air_rate(self, wlan):
+        wl, world, wc = wlan
+        wc.scan()
+        mac = wl.wireless_hosts[0].interfaces[0].mac
+        # 2 stations in ap0's cell at 11 Mbps
+        assert wc.expected_bandwidth(mac) == pytest.approx(11 * MBPS / 2)
+
+    def test_expected_share_for_newcomer(self, wlan):
+        wl, world, wc = wlan
+        cells = wc.scan()
+        assert cells["ap0"].expected_share_bps() == pytest.approx(11 * MBPS / 3)

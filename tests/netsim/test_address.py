@@ -1,0 +1,149 @@
+"""Unit and property tests for IPv4/MAC addressing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.address import (
+    IPv4Address,
+    IPv4Network,
+    MacAddress,
+    MacAllocator,
+    longest_prefix_match,
+)
+
+
+class TestIPv4Address:
+    def test_parse_and_str_roundtrip(self):
+        a = IPv4Address("10.1.2.3")
+        assert str(a) == "10.1.2.3"
+        assert a.octets() == (10, 1, 2, 3)
+
+    def test_int_roundtrip(self):
+        a = IPv4Address("192.168.0.1")
+        assert IPv4Address(int(a)) == a
+
+    def test_copy_constructor(self):
+        a = IPv4Address("1.2.3.4")
+        assert IPv4Address(a) == a
+
+    def test_ordering(self):
+        assert IPv4Address("10.0.0.1") < IPv4Address("10.0.0.2")
+        assert IPv4Address("9.255.255.255") < IPv4Address("10.0.0.0")
+
+    def test_hashable(self):
+        s = {IPv4Address("10.0.0.1"), IPv4Address("10.0.0.1")}
+        assert len(s) == 1
+
+    @pytest.mark.parametrize("bad", ["10.0.0", "10.0.0.256", "a.b.c.d", "1.2.3.4.5"])
+    def test_bad_strings(self, bad):
+        with pytest.raises(ValueError):
+            IPv4Address(bad)
+
+    def test_bad_int(self):
+        with pytest.raises(ValueError):
+            IPv4Address(2**32)
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            IPv4Address(1.5)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_str_roundtrip_property(self, v):
+        a = IPv4Address(v)
+        assert IPv4Address(str(a)).value == v
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_order_matches_int_order(self, x, y):
+        assert (IPv4Address(x) < IPv4Address(y)) == (x < y)
+
+
+class TestIPv4Network:
+    def test_contains(self):
+        n = IPv4Network("10.1.0.0/16")
+        assert IPv4Address("10.1.255.255") in n
+        assert IPv4Address("10.2.0.0") not in n
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            IPv4Network("10.1.0.1/16")
+
+    def test_bad_prefixlen(self):
+        with pytest.raises(ValueError):
+            IPv4Network("10.0.0.0/33")
+
+    def test_needs_slash(self):
+        with pytest.raises(ValueError):
+            IPv4Network("10.0.0.0")
+
+    def test_host_enumeration_skips_network_and_broadcast(self):
+        n = IPv4Network("10.0.0.0/30")
+        hosts = n.hosts()
+        assert [str(h) for h in hosts] == ["10.0.0.1", "10.0.0.2"]
+
+    def test_host_index(self):
+        n = IPv4Network("10.0.0.0/24")
+        assert str(n.host(1)) == "10.0.0.1"
+        with pytest.raises(ValueError):
+            n.host(256)
+
+    def test_netmask(self):
+        assert str(IPv4Network("10.0.0.0/24").netmask) == "255.255.255.0"
+        assert str(IPv4Network("0.0.0.0/0").netmask) == "0.0.0.0"
+
+    def test_overlaps(self):
+        a = IPv4Network("10.0.0.0/16")
+        b = IPv4Network("10.0.1.0/24")
+        c = IPv4Network("10.1.0.0/16")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_str_roundtrip(self):
+        n = IPv4Network("172.16.0.0/12")
+        assert IPv4Network(str(n)) == n
+
+    def test_longest_prefix_match(self):
+        prefixes = [
+            IPv4Network("0.0.0.0/0"),
+            IPv4Network("10.0.0.0/8"),
+            IPv4Network("10.1.0.0/16"),
+        ]
+        assert longest_prefix_match(IPv4Address("10.1.2.3"), prefixes) == prefixes[2]
+        assert longest_prefix_match(IPv4Address("10.2.0.1"), prefixes) == prefixes[1]
+        assert longest_prefix_match(IPv4Address("192.0.2.1"), prefixes) == prefixes[0]
+        assert longest_prefix_match(IPv4Address("192.0.2.1"), prefixes[1:]) is None
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 32))
+    def test_network_contains_its_base(self, v, plen):
+        base = v & ((0xFFFFFFFF << (32 - plen)) & 0xFFFFFFFF if plen else 0)
+        n = IPv4Network(str(IPv4Address(base)), plen)
+        assert IPv4Address(base) in n
+        assert n.num_addresses == 1 << (32 - plen)
+
+
+class TestMacAddress:
+    def test_str_roundtrip(self):
+        m = MacAddress("02:00:5e:00:00:01")
+        assert str(m) == "02:00:5e:00:00:01"
+        assert MacAddress(str(m)) == m
+
+    def test_allocator_unique(self):
+        alloc = MacAllocator()
+        macs = {alloc.allocate() for _ in range(1000)}
+        assert len(macs) == 1000
+
+    def test_ordering_and_hash(self):
+        a, b = MacAddress(1), MacAddress(2)
+        assert a < b
+        assert len({a, MacAddress(1)}) == 1
+
+    def test_bad_values(self):
+        with pytest.raises(ValueError):
+            MacAddress(-1)
+        with pytest.raises(ValueError):
+            MacAddress("00:11:22:33:44")
+        with pytest.raises(TypeError):
+            MacAddress(3.14)

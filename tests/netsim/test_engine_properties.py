@@ -1,0 +1,124 @@
+"""Property tests for the simulation engine and topology graph."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.engine import Engine
+from repro.modeler.graph import HOST, SWITCH, TopoEdge, TopoNode, TopologyGraph
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(0.0, 1000.0), min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_events_dispatch_in_time_order(self, times):
+        eng = Engine()
+        seen = []
+        for t in times:
+            eng.at(t, lambda t=t: seen.append(t))
+        eng.run()
+        assert seen == sorted(times)
+        assert eng.now == max(times)
+
+    @given(
+        st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30),
+        st.floats(0.0, 200.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_run_until_is_a_clean_cut(self, times, t_cut):
+        eng = Engine()
+        seen = []
+        for t in times:
+            eng.at(t, lambda t=t: seen.append(t))
+        eng.run_until(t_cut)
+        assert seen == sorted(t for t in times if t <= t_cut)
+        assert eng.now >= min(t_cut, max(times) if times else 0.0)
+
+    @given(st.floats(0.1, 10.0), st.floats(10.0, 200.0))
+    @settings(max_examples=60, deadline=None)
+    def test_periodic_tick_count(self, interval, horizon):
+        eng = Engine()
+        ticks = []
+        eng.every(interval, lambda: ticks.append(eng.now))
+        eng.run_until(horizon)
+        expected = int(horizon / interval)
+        assert abs(len(ticks) - expected) <= 1
+
+    @given(st.lists(st.floats(0.0, 5.0), min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_advance_accumulates(self, advances):
+        eng = Engine()
+
+        def busy():
+            for dt in advances:
+                eng.advance(dt)
+
+        eng.at(1.0, busy)
+        eng.run()
+        assert eng.now == pytest.approx(1.0 + sum(advances))
+
+
+@st.composite
+def _random_graph(draw):
+    n = draw(st.integers(2, 8))
+    g = TopologyGraph()
+    for i in range(n):
+        g.add_node(TopoNode(f"n{i}", HOST if i < 2 else SWITCH))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1),
+                      st.floats(1e6, 1e9)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    for a, b, cap in edges:
+        if a != b:
+            g.add_edge(TopoEdge(f"n{a}", f"n{b}", cap))
+    return g
+
+
+class TestGraphProperties:
+    @given(_random_graph(), _random_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_idempotent_and_monotone(self, g1, g2):
+        m = g1.copy()
+        m.merge(g2)
+        # merging again changes nothing
+        m2 = m.copy()
+        m2.merge(g2)
+        assert sorted(n.id for n in m2.nodes()) == sorted(n.id for n in m.nodes())
+        assert m2.num_edges() == m.num_edges()
+        # everything from both inputs is present
+        for g in (g1, g2):
+            for node in g.nodes():
+                assert m.has_node(node.id)
+            for e in g.edges():
+                assert m.has_edge(e.a, e.b)
+
+    @given(_random_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_copy_independent(self, g):
+        c = g.copy()
+        for n in list(c.nodes()):
+            c.remove_node(n.id)
+        assert len(g) > 0
+        assert len(c) == 0
+
+    @given(_random_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_bottleneck_never_exceeds_any_edge(self, g):
+        from repro.common.errors import TopologyError
+
+        nodes = [n.id for n in g.nodes()]
+        for a in nodes[:3]:
+            for b in nodes[:3]:
+                if a == b:
+                    continue
+                try:
+                    avail = g.bottleneck_available(a, b)
+                except TopologyError:
+                    continue
+                for e in g.path_edges(a, b):
+                    assert avail <= e.capacity_bps + 1e-9

@@ -1,0 +1,243 @@
+"""Unit and property tests for max-min fair fluid flows."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.units import MBPS
+from repro.netsim.builders import build_dumbbell, build_multisite_wan, SiteSpec
+from repro.netsim.flows import max_min_allocation
+from repro.netsim.paths import compute_path
+from repro.netsim.topology import Network
+
+
+def _chain_network(n_links: int, capacities):
+    """A linear chain h0 - r1 - r2 - ... - h_end with given capacities."""
+    net = Network()
+    h0 = net.add_host("h0")
+    hN = net.add_host("hN")
+    routers = [net.add_router(f"r{i}") for i in range(n_links - 1)]
+    seq = [h0] + routers + [hN]
+    links = []
+    for i, (a, b) in enumerate(zip(seq, seq[1:])):
+        links.append(net.link(a, b, capacities[i]))
+    # address each link as its own /30-ish subnet
+    for i, ln in enumerate(links):
+        subnet = f"10.{i}.0.0/24"
+        net.assign_ip(ln.a, f"10.{i}.0.1", subnet)
+        net.assign_ip(ln.b, f"10.{i}.0.2", subnet)
+    net.freeze()
+    return net, h0, hN, links
+
+
+class TestMaxMinAllocation:
+    def test_single_greedy_flow_gets_bottleneck(self):
+        net, h0, hN, links = _chain_network(3, [100 * MBPS, 10 * MBPS, 100 * MBPS])
+        f = net.flows.start_flow(h0, hN)
+        assert f.rate_bps == pytest.approx(10 * MBPS)
+
+    def test_two_greedy_flows_split_fairly(self):
+        d = build_dumbbell()
+        f1 = d.net.flows.start_flow(d.h1, d.h2)
+        f2 = d.net.flows.start_flow(d.h1, d.h2)
+        assert f1.rate_bps == pytest.approx(50 * MBPS)
+        assert f2.rate_bps == pytest.approx(50 * MBPS)
+
+    def test_demand_capped_flow_leaves_rest(self):
+        d = build_dumbbell()
+        f1 = d.net.flows.start_flow(d.h1, d.h2, demand_bps=20 * MBPS)
+        f2 = d.net.flows.start_flow(d.h1, d.h2)
+        assert f1.rate_bps == pytest.approx(20 * MBPS)
+        assert f2.rate_bps == pytest.approx(80 * MBPS)
+
+    def test_stop_flow_rebalances(self):
+        d = build_dumbbell()
+        f1 = d.net.flows.start_flow(d.h1, d.h2)
+        f2 = d.net.flows.start_flow(d.h1, d.h2)
+        d.net.flows.stop_flow(f1)
+        assert f2.rate_bps == pytest.approx(100 * MBPS)
+        assert not f1.active
+
+    def test_stop_is_idempotent(self):
+        d = build_dumbbell()
+        f1 = d.net.flows.start_flow(d.h1, d.h2)
+        d.net.flows.stop_flow(f1)
+        d.net.flows.stop_flow(f1)
+        assert f1.rate_bps == 0.0
+
+    def test_set_demand_rebalances(self):
+        d = build_dumbbell()
+        f1 = d.net.flows.start_flow(d.h1, d.h2)
+        f2 = d.net.flows.start_flow(d.h1, d.h2)
+        d.net.flows.set_demand(f1, 10 * MBPS)
+        assert f1.rate_bps == pytest.approx(10 * MBPS)
+        assert f2.rate_bps == pytest.approx(90 * MBPS)
+
+    def test_self_flow_rejected(self):
+        d = build_dumbbell()
+        with pytest.raises(Exception):
+            d.net.flows.start_flow(d.h1, d.h1)
+
+    def test_water_filling_example(self):
+        # Classic: 3 flows, 2 links. Flow A uses link1, B uses link2,
+        # C uses both. link1 cap 1, link2 cap 2 (scaled by Mbps).
+        net, h0, hN, links = _chain_network(3, [1 * MBPS, 1000 * MBPS, 2 * MBPS])
+        # C spans the chain; A only bottlenecked at link0; B at link2.
+        # Emulate with demands via partial-path flows between routers is
+        # complex here; instead test the raw allocator:
+        chans1 = [links[0].channels()[0]]
+        chans2 = [links[2].channels()[0]]
+        both = [links[0].channels()[0], links[2].channels()[0]]
+        rates = max_min_allocation(
+            [chans1, chans2, both], [math.inf, math.inf, math.inf]
+        )
+        # Level grows to 0.5 on link0 (A and C freeze at 0.5);
+        # B then takes 2 - 0.5 = 1.5.
+        assert rates[0] == pytest.approx(0.5 * MBPS)
+        assert rates[2] == pytest.approx(0.5 * MBPS)
+        assert rates[1] == pytest.approx(1.5 * MBPS)
+
+    def test_empty_allocation(self):
+        assert max_min_allocation([], []) == []
+
+    def test_zero_demand_flow(self):
+        d = build_dumbbell()
+        f = d.net.flows.start_flow(d.h1, d.h2, demand_bps=0.0)
+        assert f.rate_bps == 0.0
+
+
+@st.composite
+def _allocation_problem(draw):
+    """Random flows over a pool of fake channels."""
+
+    class FakeChannel:
+        def __init__(self, cap):
+            self.capacity_bps = cap
+
+    n_chan = draw(st.integers(1, 6))
+    channels = [FakeChannel(draw(st.floats(1.0, 1000.0))) for _ in range(n_chan)]
+    n_flows = draw(st.integers(1, 8))
+    paths = []
+    demands = []
+    for _ in range(n_flows):
+        k = draw(st.integers(1, n_chan))
+        idx = draw(st.permutations(range(n_chan)))[:k]
+        paths.append([channels[i] for i in idx])
+        demands.append(
+            draw(st.one_of(st.just(math.inf), st.floats(0.0, 500.0)))
+        )
+    return channels, paths, demands
+
+
+class TestMaxMinProperties:
+    @given(_allocation_problem())
+    @settings(max_examples=200, deadline=None)
+    def test_feasible_and_demand_respected(self, problem):
+        channels, paths, demands = problem
+        rates = max_min_allocation(paths, demands)
+        # demands respected
+        for r, d in zip(rates, demands):
+            assert r <= d + 1e-6
+            assert r >= 0
+        # capacities respected
+        for ch in channels:
+            load = sum(r for r, p in zip(rates, paths) if ch in p)
+            assert load <= ch.capacity_bps * (1 + 1e-9) + 1e-6
+
+    @given(_allocation_problem())
+    @settings(max_examples=200, deadline=None)
+    def test_maxmin_bottleneck_condition(self, problem):
+        """Every flow is either at its demand or crosses a saturated
+        channel where it has a maximal rate — the defining property of
+        max-min fairness."""
+        channels, paths, demands = problem
+        rates = max_min_allocation(paths, demands)
+        for i, (r, d, p) in enumerate(zip(rates, demands, paths)):
+            if math.isfinite(d) and r >= d - 1e-6:
+                continue  # demand-bound
+            bottlenecked = False
+            for ch in p:
+                load = sum(rj for rj, pj in zip(rates, paths) if ch in pj)
+                if load >= ch.capacity_bps - 1e-6:
+                    # flow i must have (weakly) maximal rate on this channel
+                    others = [rj for j, (rj, pj) in enumerate(zip(rates, paths)) if ch in pj and j != i]
+                    if all(r >= rj - 1e-6 for rj in others):
+                        bottlenecked = True
+                        break
+            assert bottlenecked, f"flow {i} neither demand- nor bottleneck-bound"
+
+
+class TestCounters:
+    def test_counter_integration_exact(self):
+        d = build_dumbbell()
+        f = d.net.flows.start_flow(d.h1, d.h2, demand_bps=8 * MBPS)
+        d.net.engine.run_until(10.0)
+        path = f.path
+        ch = path[0]
+        ch.sync(d.net.now)
+        assert ch.bytes_total == pytest.approx(8e6 * 10 / 8)
+
+    def test_counter_integrates_across_rate_changes(self):
+        d = build_dumbbell()
+        f1 = d.net.flows.start_flow(d.h1, d.h2)  # 100 Mbps alone
+        d.net.engine.at(5.0, lambda: d.net.flows.start_flow(d.h1, d.h2))
+        d.net.engine.run_until(10.0)
+        ch = compute_path(d.net, d.h1, d.h2)[1]
+        ch.sync(d.net.now)
+        # 5s at 100 Mbps + 5s at 100 Mbps (two flows at 50 each)
+        assert ch.bytes_total == pytest.approx(100e6 * 10 / 8, rel=1e-9)
+
+    def test_utilization_reading(self):
+        d = build_dumbbell()
+        d.net.flows.start_flow(d.h1, d.h2, demand_bps=25 * MBPS)
+        ch = compute_path(d.net, d.h1, d.h2)[1]
+        assert ch.utilization() == pytest.approx(0.25)
+
+
+class TestFiniteTransfers:
+    def test_completion_time_constant_rate(self):
+        d = build_dumbbell()
+        done = []
+        d.net.flows.start_flow(
+            d.h1, d.h2, total_bytes=125_000_000, on_complete=lambda f: done.append(d.net.now)
+        )
+        d.net.engine.run(max_events=100)
+        # 125 MB at 100 Mbps = 10 s
+        assert done == [pytest.approx(10.0)]
+
+    def test_completion_reschedules_on_rate_change(self):
+        d = build_dumbbell()
+        done = []
+        d.net.flows.start_flow(
+            d.h1, d.h2, total_bytes=125_000_000, on_complete=lambda f: done.append(d.net.now)
+        )
+        # at t=5 a competitor arrives: remaining 62.5MB now moves at 50 Mbps -> 10 more s
+        competitor = []
+        d.net.engine.at(5.0, lambda: competitor.append(d.net.flows.start_flow(d.h1, d.h2)))
+        d.net.engine.run_until(30.0)
+        assert done == [pytest.approx(15.0)]
+
+    def test_flow_bytes_done_tracks(self):
+        d = build_dumbbell()
+        f = d.net.flows.start_flow(d.h1, d.h2, demand_bps=8 * MBPS)
+        d.net.engine.run_until(3.0)
+        d.net.flows.stop_flow(f)
+        assert f.bytes_done == pytest.approx(8e6 * 3 / 8)
+
+
+class TestWanSharing:
+    def test_cross_site_flows_share_access_link(self):
+        w = build_multisite_wan(
+            [
+                SiteSpec("a", access_bps=10 * MBPS),
+                SiteSpec("b", access_bps=100 * MBPS),
+                SiteSpec("c", access_bps=100 * MBPS),
+            ]
+        )
+        # two flows out of site a to different sites share a's access link
+        f1 = w.net.flows.start_flow(w.host("a", 0), w.host("b", 0))
+        f2 = w.net.flows.start_flow(w.host("a", 1), w.host("c", 0))
+        assert f1.rate_bps == pytest.approx(5 * MBPS)
+        assert f2.rate_bps == pytest.approx(5 * MBPS)

@@ -1,0 +1,127 @@
+"""Unit tests for the device/link/interface model."""
+
+import pytest
+
+from repro.common.errors import TopologyError
+from repro.common.units import MBPS
+from repro.netsim.topology import Network
+
+
+def test_duplicate_node_name_rejected():
+    net = Network()
+    net.add_host("h")
+    with pytest.raises(TopologyError):
+        net.add_router("h")
+
+
+def test_link_assigns_interfaces_and_macs():
+    net = Network()
+    a = net.add_host("a")
+    b = net.add_host("b")
+    ln = net.link(a, b, 10 * MBPS)
+    assert ln.a.device is a and ln.b.device is b
+    assert ln.a.mac is not None and ln.b.mac is not None
+    assert ln.a.mac != ln.b.mac
+    assert ln.a.peer() is ln.b
+    assert a.interfaces[0].speed_bps == 10 * MBPS
+
+
+def test_interface_cannot_be_double_linked():
+    net = Network()
+    a, b, c = net.add_host("a"), net.add_host("b"), net.add_host("c")
+    ln = net.link(a, b, 1 * MBPS)
+    with pytest.raises(TopologyError):
+        net.link(ln.a, c.add_interface(), 1 * MBPS)
+
+
+def test_zero_capacity_link_rejected():
+    net = Network()
+    a, b = net.add_host("a"), net.add_host("b")
+    with pytest.raises(TopologyError):
+        net.link(a, b, 0.0)
+
+
+def test_assign_ip_validates_membership():
+    net = Network()
+    a, b = net.add_host("a"), net.add_host("b")
+    ln = net.link(a, b, 1 * MBPS)
+    with pytest.raises(TopologyError):
+        net.assign_ip(ln.a, "10.1.0.1", "10.0.0.0/24")
+
+
+def test_duplicate_ip_rejected():
+    net = Network()
+    a, b = net.add_host("a"), net.add_host("b")
+    ln = net.link(a, b, 1 * MBPS)
+    net.assign_ip(ln.a, "10.0.0.1", "10.0.0.0/24")
+    with pytest.raises(TopologyError):
+        net.assign_ip(ln.b, "10.0.0.1", "10.0.0.0/24")
+
+
+def test_ip_lookup():
+    net = Network()
+    a, b = net.add_host("a"), net.add_host("b")
+    ln = net.link(a, b, 1 * MBPS)
+    net.assign_ip(ln.a, "10.0.0.1", "10.0.0.0/24")
+    assert net.node_for_ip("10.0.0.1") is a
+    assert net.node_for_ip("10.0.0.2") is None
+    assert a.ip.value == net.iface_for_ip("10.0.0.1").ip.value
+
+
+def test_host_without_ip_raises():
+    net = Network()
+    a = net.add_host("a")
+    with pytest.raises(TopologyError):
+        _ = a.ip
+
+
+def test_frozen_network_rejects_changes():
+    net = Network()
+    net.add_host("a")
+    net.freeze()
+    with pytest.raises(TopologyError):
+        net.add_host("b")
+
+
+def test_host_lookup_type_checked():
+    net = Network()
+    net.add_router("r")
+    with pytest.raises(TopologyError):
+        net.host("r")
+    with pytest.raises(TopologyError):
+        net.node("missing")
+
+
+def test_iface_by_ifindex():
+    net = Network()
+    r = net.add_router("r")
+    i1 = r.add_interface()
+    i2 = r.add_interface()
+    assert r.iface(1) is i1
+    assert r.iface(2) is i2
+    assert i1.index == 1 and i2.index == 2
+
+
+def test_counters_zero_when_unlinked():
+    net = Network()
+    r = net.add_router("r")
+    i = r.add_interface()
+    assert i.out_octets(5.0) == 0.0
+    assert i.in_octets(5.0) == 0.0
+    assert i.speed_bps == 0.0
+
+
+def test_host_load_defaults_to_zero():
+    net = Network()
+    h = net.add_host("h")
+    assert h.load(0.0) == 0.0
+    h.load_source = lambda t: 1.5
+    assert h.load(10.0) == 1.5
+
+
+def test_neighbors():
+    net = Network()
+    a, b, c = net.add_host("a"), net.add_switch("s"), net.add_host("c")
+    net.link(a, b, 1 * MBPS)
+    net.link(b, c, 1 * MBPS)
+    assert set(n.name for n in b.neighbors()) == {"a", "c"}

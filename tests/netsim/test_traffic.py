@@ -1,0 +1,127 @@
+"""Tests for traffic generators."""
+
+import pytest
+
+from repro.common.units import MBPS
+from repro.netsim.builders import build_dumbbell
+from repro.netsim.paths import compute_path
+from repro.netsim.traffic import (
+    BurstTraffic,
+    CbrTraffic,
+    FileTransfer,
+    ParetoOnOffTraffic,
+    RandomWalkTraffic,
+)
+
+
+@pytest.fixture
+def dumbbell():
+    return build_dumbbell()
+
+
+class TestCbr:
+    def test_rate_and_stop(self, dumbbell):
+        d = dumbbell
+        cbr = CbrTraffic(d.net, d.h1, d.h2, 7 * MBPS)
+        cbr.start()
+        assert cbr.current_rate() == pytest.approx(7 * MBPS)
+        cbr.stop()
+        assert cbr.current_rate() == 0.0
+        assert not d.net.flows.active_flows()
+
+    def test_start_idempotent(self, dumbbell):
+        d = dumbbell
+        cbr = CbrTraffic(d.net, d.h1, d.h2, 7 * MBPS)
+        cbr.start()
+        cbr.start()
+        assert len(d.net.flows.active_flows()) == 1
+
+
+class TestBurst:
+    def test_bursts_fire_on_schedule(self, dumbbell):
+        d = dumbbell
+        burst = BurstTraffic(d.net, d.h1, d.h2, [(10.0, 5.0), (20.0, 5.0)])
+        burst.start()
+        samples = {}
+        for t in (5.0, 12.0, 18.0, 22.0, 28.0):
+            d.net.engine.at(t, lambda t=t: samples.update({t: burst.current_rate()}))
+        d.net.engine.run_until(30.0)
+        assert samples[5.0] == 0.0
+        assert samples[12.0] == pytest.approx(100 * MBPS)
+        assert samples[18.0] == 0.0
+        assert samples[22.0] == pytest.approx(100 * MBPS)
+        assert samples[28.0] == 0.0
+
+    def test_burst_bytes_integrated(self, dumbbell):
+        d = dumbbell
+        burst = BurstTraffic(d.net, d.h1, d.h2, [(0.0, 10.0)], demand_bps=40 * MBPS)
+        burst.start()
+        d.net.engine.run_until(20.0)
+        ch = compute_path(d.net, d.h1, d.h2)[1]
+        ch.sync(d.net.now)
+        assert ch.bytes_total == pytest.approx(40e6 * 10 / 8)
+
+
+class TestRandomWalk:
+    def test_stays_within_bounds(self, dumbbell):
+        d = dumbbell
+        rw = RandomWalkTraffic(
+            d.net, d.h1, d.h2, lo_bps=1 * MBPS, hi_bps=5 * MBPS,
+            sigma_bps=2 * MBPS, step_s=1.0, seed=42,
+        )
+        rw.start()
+        observed = []
+        d.net.engine.every(0.5, lambda: observed.append(rw.flow.rate_bps if rw.flow else 0.0))
+        d.net.engine.run_until(60.0)
+        rw.stop()
+        assert observed, "must have sampled"
+        assert min(observed) >= 1 * MBPS - 1e-6
+        assert max(observed) <= 5 * MBPS + 1e-6
+        assert len(set(round(o) for o in observed)) > 5, "demand must actually move"
+
+    def test_bad_bounds_rejected(self, dumbbell):
+        d = dumbbell
+        with pytest.raises(ValueError):
+            RandomWalkTraffic(d.net, d.h1, d.h2, lo_bps=5.0, hi_bps=1.0, sigma_bps=1.0)
+
+
+class TestParetoOnOff:
+    def test_alternates_on_off(self, dumbbell):
+        d = dumbbell
+        src = ParetoOnOffTraffic(
+            d.net, d.h1, d.h2, rate_bps=10 * MBPS,
+            mean_on_s=1.0, mean_off_s=1.0, seed=7,
+        )
+        src.start()
+        states = []
+        d.net.engine.every(0.25, lambda: states.append(src.flow is not None))
+        d.net.engine.run_until(120.0)
+        src.stop()
+        frac_on = sum(states) / len(states)
+        assert 0.2 < frac_on < 0.8, f"on-fraction {frac_on} implausible for 50% duty"
+
+    def test_shape_must_give_finite_mean(self, dumbbell):
+        d = dumbbell
+        with pytest.raises(ValueError):
+            ParetoOnOffTraffic(d.net, d.h1, d.h2, rate_bps=1.0, shape=1.0)
+
+
+class TestFileTransfer:
+    def test_transfer_throughput(self, dumbbell):
+        d = dumbbell
+        done = []
+        xfer = FileTransfer(d.net, d.h1, d.h2, nbytes=12_500_000, on_done=lambda x: done.append(x))
+        xfer.start()
+        d.net.engine.run(max_events=50)
+        assert xfer.complete
+        assert xfer.elapsed_s == pytest.approx(1.0)  # 12.5 MB @ 100 Mbps
+        assert xfer.throughput_bps == pytest.approx(100 * MBPS)
+        assert done == [xfer]
+
+    def test_incomplete_transfer_reports_zero(self, dumbbell):
+        d = dumbbell
+        xfer = FileTransfer(d.net, d.h1, d.h2, nbytes=1e12)
+        xfer.start()
+        d.net.engine.run_until(1.0)
+        assert not xfer.complete
+        assert xfer.throughput_bps == 0.0

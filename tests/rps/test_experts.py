@@ -1,0 +1,83 @@
+"""Tests for NWS-style multi-expert model selection."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ModelFitError, PredictionError
+from repro.rps.hostload import ar_trace, host_load_trace
+from repro.rps.models import ArModel, LastModel, MeanModel, parse_model
+from repro.rps.models.experts import MultiExpertModel
+
+
+class TestConstruction:
+    def test_parse_spec(self):
+        m = parse_model("EXPERTS(AR(8)+BM(8)+LAST)")
+        assert m.spec == "EXPERTS(AR(8)+BM(8)+LAST)"
+
+    def test_empty_experts_rejected(self):
+        with pytest.raises(PredictionError):
+            parse_model("EXPERTS()")
+        with pytest.raises(ModelFitError):
+            MultiExpertModel([])
+
+    def test_bad_decay(self):
+        with pytest.raises(ModelFitError):
+            MultiExpertModel([MeanModel()], decay=1.5)
+
+    def test_unfittable_expert_sits_out(self):
+        # AR(50) can't fit 20 points, MEAN can
+        m = MultiExpertModel([ArModel(50), MeanModel()])
+        f = m.fit(np.arange(20, dtype=float))
+        assert len(f._experts) == 1
+
+    def test_no_expert_fits(self):
+        m = MultiExpertModel([ArModel(50)])
+        with pytest.raises(ModelFitError):
+            m.fit(np.arange(10, dtype=float))
+
+
+class TestSelection:
+    def test_picks_ar_on_ar_data(self):
+        x = ar_trace(4000, [0.8], seed=40)
+        f = parse_model("EXPERTS(AR(4)+MEAN)").fit(x[:2000])
+        for v in x[2000:3000]:
+            f.step(float(v))
+        # on strongly autocorrelated data the AR expert must win
+        best = f._experts[f.best_index()].spec
+        assert best == "AR(4)"
+
+    def test_picks_mean_on_white_noise(self):
+        rng = np.random.default_rng(41)
+        x = rng.normal(5.0, 1.0, 3000)
+        f = parse_model("EXPERTS(LAST+MEAN)").fit(x[:1500])
+        for v in x[1500:2500]:
+            f.step(float(v))
+        # LAST doubles the error variance on white noise; MEAN wins
+        assert f._experts[f.best_index()].spec == "MEAN"
+
+    def test_adapts_after_regime_change(self):
+        """A level shift makes the long-term MEAN terrible; the expert
+        pool switches to a conditional model."""
+        x1 = ar_trace(1500, [0.5], seed=42)
+        f = parse_model("EXPERTS(BM(8)+MEAN)").fit(x1)
+        shifted = ar_trace(400, [0.5], seed=43) + 15.0
+        for v in shifted:
+            f.step(float(v))
+        assert f._experts[f.best_index()].spec == "BM(8)"
+        # and the forecast reflects the new level
+        assert f.forecast(1).values[0] == pytest.approx(15.0, abs=3.0)
+
+    def test_forecast_shape(self):
+        load = host_load_trace(1500, seed=44)
+        f = parse_model("EXPERTS(AR(8)+LAST+MEAN)").fit(load[:1000])
+        fc = f.forecast(7)
+        assert fc.values.shape == (7,)
+        assert np.all(fc.variances >= 0)
+
+    def test_win_accounting(self):
+        load = host_load_trace(1200, seed=45)
+        f = parse_model("EXPERTS(AR(8)+MEAN)").fit(load[:800])
+        for v in load[800:900]:
+            f.step(float(v))
+            f.forecast(1)
+        assert f.wins.sum() == 100

@@ -1,0 +1,55 @@
+"""Tests for forecast prediction intervals (variance characterization)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import PredictionError
+from repro.rps.hostload import ar_trace
+from repro.rps.models import parse_model
+from repro.rps.models.base import Forecast
+
+
+class TestIntervalMath:
+    def test_symmetric_around_values(self):
+        fc = Forecast(np.array([1.0, 2.0]), np.array([0.25, 1.0]))
+        lo, hi = fc.interval(0.95)
+        assert np.allclose((lo + hi) / 2, fc.values)
+        # 95% -> z ~ 1.96
+        assert hi[0] - fc.values[0] == pytest.approx(1.96 * 0.5, abs=0.01)
+        assert hi[1] - fc.values[1] == pytest.approx(1.96 * 1.0, abs=0.01)
+
+    def test_wider_at_higher_confidence(self):
+        fc = Forecast(np.array([0.0]), np.array([1.0]))
+        lo68, hi68 = fc.interval(0.68)
+        lo99, hi99 = fc.interval(0.99)
+        assert hi99[0] > hi68[0]
+
+    def test_bad_confidence(self):
+        fc = Forecast(np.array([0.0]), np.array([1.0]))
+        with pytest.raises(PredictionError):
+            fc.interval(0.0)
+        with pytest.raises(PredictionError):
+            fc.interval(1.5)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(PredictionError):
+            Forecast(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestEmpiricalCoverage:
+    def test_ar_interval_covers_stated_fraction(self):
+        """On stationary AR data, the 90% one-step band must actually
+        contain ~90% of outcomes — the paper's claim that RPS's error
+        characterization 'is usually quite accurate'."""
+        x = ar_trace(6000, [0.7, -0.2], seed=60)
+        fitted = parse_model("AR(8)").fit(x[:3000])
+        hits = 0
+        n = 2000
+        for t in range(3000, 3000 + n):
+            fc = fitted.forecast(1)
+            lo, hi = fc.interval(0.90)
+            if lo[0] <= x[t] <= hi[0]:
+                hits += 1
+            fitted.step(float(x[t]))
+        coverage = hits / n
+        assert 0.85 <= coverage <= 0.95

@@ -1,0 +1,118 @@
+"""Tests for Host Resources MIB agents and the SNMP host-load sensor."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import AgentUnreachableError
+from repro.netsim.agents import attach_trace
+from repro.netsim.builders import build_switched_lan
+from repro.rps.hostload import host_load_trace
+from repro.rps.predictor import StreamingPredictor
+from repro.rps.sensors import SnmpHostLoadSensor
+from repro.snmp import oid as O
+from repro.snmp.agent import instrument_hosts, instrument_network
+from repro.snmp.client import SnmpClient
+
+
+@pytest.fixture
+def lan_world():
+    lan = build_switched_lan(4, fanout=4)
+    world = instrument_network(lan.net)
+    n = instrument_hosts(world)
+    assert n == 4
+    client = SnmpClient(world, lan.hosts[1].ip)
+    return lan, world, client
+
+
+class TestHostMib:
+    def test_processor_load_reflects_host(self, lan_world):
+        lan, world, client = lan_world
+        h = lan.hosts[0]
+        h.load_source = lambda t: 0.37
+        pct = client.get(h.ip, O.HR_PROCESSOR_LOAD + 1)
+        assert pct == 37
+
+    def test_load_clamped_at_100(self, lan_world):
+        lan, world, client = lan_world
+        h = lan.hosts[0]
+        h.load_source = lambda t: 7.5
+        assert client.get(h.ip, O.HR_PROCESSOR_LOAD + 1) == 100
+
+    def test_idle_host_zero(self, lan_world):
+        lan, world, client = lan_world
+        assert client.get(lan.hosts[2].ip, O.HR_PROCESSOR_LOAD + 1) == 0
+
+    def test_host_iftable_present(self, lan_world):
+        lan, world, client = lan_world
+        speeds = client.table_column(lan.hosts[0].ip, O.IF_SPEED)
+        assert len(speeds) == 1
+
+    def test_opt_in_subset(self):
+        lan = build_switched_lan(4)
+        world = instrument_network(lan.net)
+        n = instrument_hosts(world, hosts=[lan.hosts[0]])
+        assert n == 1
+        client = SnmpClient(world, lan.hosts[1].ip)
+        assert client.get(lan.hosts[0].ip, O.HR_PROCESSOR_LOAD + 1) == 0
+        with pytest.raises(AgentUnreachableError):
+            client.get(lan.hosts[1].ip, O.HR_PROCESSOR_LOAD + 1)
+
+
+class TestSnmpHostLoadSensor:
+    def test_samples_quantised_load(self, lan_world):
+        lan, world, client = lan_world
+        h = lan.hosts[0]
+        trace = host_load_trace(3000, seed=50)
+        attach_trace(h, trace, dt=1.0)
+        sensor = SnmpHostLoadSensor(client, h.ip, rate_hz=1.0)
+        sensor.start()
+        lan.net.engine.run_until(60.0)
+        sensor.stop()
+        assert sensor.stats.samples == pytest.approx(60, abs=2)
+        loads = np.array([v for _, v in sensor.samples])
+        # quantised to integer percent
+        assert np.allclose(loads * 100, np.round(loads * 100))
+        # tracks the true load within the quantisation step
+        truth = np.array([min(1.0, h.load(t)) for t, _ in sensor.samples])
+        assert np.max(np.abs(loads - truth)) <= 0.01 + 1e-9
+
+    def test_costs_pdus(self, lan_world):
+        lan, world, client = lan_world
+        h = lan.hosts[0]
+        attach_trace(h, host_load_trace(1000, seed=51), dt=1.0)
+        before = client.pdu_count
+        sensor = SnmpHostLoadSensor(client, h.ip, rate_hz=1.0)
+        sensor.start()
+        lan.net.engine.run_until(30.0)
+        sensor.stop()
+        assert client.pdu_count - before >= 25
+
+    def test_feeds_predictor(self, lan_world):
+        lan, world, client = lan_world
+        h = lan.hosts[0]
+        trace = host_load_trace(3000, mean=0.5, seed=52)
+        attach_trace(h, trace, dt=1.0)
+        sp = StreamingPredictor("AR(8)", np.minimum(1.0, trace[:600]))
+        sensor = SnmpHostLoadSensor(client, h.ip, predictor=sp, rate_hz=1.0)
+        sensor.start()
+        lan.net.engine.run_until(120.0)
+        sensor.stop()
+        assert sensor.stats.last_forecast is not None
+
+    def test_dead_agent_skips_sample(self, lan_world):
+        lan, world, client = lan_world
+        h = lan.hosts[0]
+        attach_trace(h, host_load_trace(500, seed=53), dt=1.0)
+        sensor = SnmpHostLoadSensor(client, h.ip, rate_hz=1.0)
+        sensor.start()
+        lan.net.engine.run_until(10.0)
+        n1 = sensor.stats.samples
+        world.agent_for(h.name).reachable = False
+        lan.net.engine.run_until(20.0)
+        sensor.stop()
+        assert sensor.stats.samples == n1
+
+    def test_bad_rate(self, lan_world):
+        lan, world, client = lan_world
+        with pytest.raises(ValueError):
+            SnmpHostLoadSensor(client, lan.hosts[0].ip, rate_hz=0)

@@ -1,0 +1,83 @@
+"""Tests for incremental MIB refresh helpers (FDB rows, associations)."""
+
+import pytest
+
+from repro.common.units import MBPS
+from repro.netsim.address import MacAddress
+from repro.netsim.builders import build_switched_lan, build_wireless_lan
+from repro.netsim.wireless import associate
+from repro.snmp import oid as O
+from repro.snmp.agent import instrument_network
+from repro.snmp.client import SnmpClient
+from repro.snmp.mib import refresh_basestation_assoc, refresh_switch_fdb
+
+
+class TestFdbRefresh:
+    def test_new_entry_appears(self):
+        lan = build_switched_lan(4, fanout=4)
+        world = instrument_network(lan.net)
+        sw = lan.switches[0]
+        agent = world.agent_for(sw.name)
+        ghost = MacAddress(0xAABBCCDDEEFF)
+        sw.fdb[ghost] = 1
+        refresh_switch_fdb(agent.mib, sw)
+        client = SnmpClient(world, lan.hosts[0].ip)
+        ports = client.table_column(sw.management_ip, O.DOT1D_TP_FDB_PORT)
+        assert ghost.octets() in ports
+        assert ports[ghost.octets()] == 1
+
+    def test_removed_entry_disappears(self):
+        lan = build_switched_lan(4, fanout=4)
+        world = instrument_network(lan.net)
+        sw = lan.switches[0]
+        agent = world.agent_for(sw.name)
+        victim = lan.hosts[0].interfaces[0].mac
+        assert victim in sw.fdb
+        del sw.fdb[victim]
+        refresh_switch_fdb(agent.mib, sw)
+        client = SnmpClient(world, lan.hosts[0].ip)
+        ports = client.table_column(sw.management_ip, O.DOT1D_TP_FDB_PORT)
+        assert victim.octets() not in ports
+
+    def test_port_change_live_without_refresh(self):
+        """Port moves read through; only row add/remove needs refresh."""
+        lan = build_switched_lan(4, fanout=4)
+        world = instrument_network(lan.net)
+        sw = lan.switches[0]
+        mac = lan.hosts[0].interfaces[0].mac
+        client = SnmpClient(world, lan.hosts[1].ip)
+        before = client.get(sw.management_ip, O.DOT1D_TP_FDB_PORT + mac.octets())
+        sw.fdb[mac] = 99
+        after = client.get(sw.management_ip, O.DOT1D_TP_FDB_PORT + mac.octets())
+        assert after == 99 != before
+
+
+class TestAssocRefresh:
+    def test_roam_updates_assoc_tables(self):
+        wl = build_wireless_lan(n_basestations=2, n_wireless_hosts=2)
+        world = instrument_network(wl.net)
+        h = wl.wireless_hosts[0]
+        mac = h.interfaces[0].mac
+        src, dst = wl.basestations
+        associate(wl.net, h, dst)
+        for bs in (src, dst):
+            agent = world.agent_for(bs.name)
+            refresh_basestation_assoc(agent.mib, bs)
+        client = SnmpClient(world, wl.wired_hosts[0].ip)
+        src_rows = client.walk(src.management_ip, O.WLAN_ASSOC_STATION)
+        dst_rows = client.walk(dst.management_ip, O.WLAN_ASSOC_STATION)
+        src_macs = {v for _, v in src_rows}
+        dst_macs = {v for _, v in dst_rows}
+        assert str(mac) not in src_macs
+        assert str(mac) in dst_macs
+
+    def test_refresh_idempotent(self):
+        wl = build_wireless_lan(n_basestations=1, n_wireless_hosts=2)
+        world = instrument_network(wl.net)
+        bs = wl.basestations[0]
+        agent = world.agent_for(bs.name)
+        refresh_basestation_assoc(agent.mib, bs)
+        refresh_basestation_assoc(agent.mib, bs)
+        client = SnmpClient(world, wl.wired_hosts[0].ip)
+        rows = client.walk(bs.management_ip, O.WLAN_ASSOC_STATION)
+        assert len(rows) == 2

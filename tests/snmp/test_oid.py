@@ -1,0 +1,71 @@
+"""Unit and property tests for OIDs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.snmp import oid as O
+from repro.snmp.oid import Oid
+
+
+class TestOid:
+    def test_parse_str(self):
+        o = Oid("1.3.6.1.2.1")
+        assert o.parts == (1, 3, 6, 1, 2, 1)
+        assert str(o) == "1.3.6.1.2.1"
+
+    def test_leading_dot_ok(self):
+        assert Oid(".1.3.6") == Oid("1.3.6")
+
+    def test_empty(self):
+        assert len(Oid("")) == 0
+        assert Oid(()).parts == ()
+
+    def test_from_iterable_and_copy(self):
+        assert Oid([1, 3, 6]) == Oid("1.3.6")
+        o = Oid("1.2.3")
+        assert Oid(o) == o
+
+    def test_bad_strings(self):
+        with pytest.raises(ValueError):
+            Oid("1.a.3")
+        with pytest.raises(ValueError):
+            Oid((-1, 2))
+
+    def test_concat(self):
+        assert O.IF_SPEED + 3 == Oid("1.3.6.1.2.1.2.2.1.5.3")
+        assert Oid("1.3") + "6.1" == Oid("1.3.6.1")
+        assert Oid("1.3") + (6, 1) == Oid("1.3.6.1")
+
+    def test_prefix_tests(self):
+        assert Oid("1.3.6.1.5").starts_with(Oid("1.3.6"))
+        assert not Oid("1.3.7").starts_with(Oid("1.3.6"))
+        assert Oid("1.3.6.1.5").suffix_after(Oid("1.3.6")) == (1, 5)
+        with pytest.raises(ValueError):
+            Oid("1.4").suffix_after(Oid("1.3"))
+
+    def test_snmp_order(self):
+        # shorter prefix sorts before its extensions
+        assert Oid("1.3.6") < Oid("1.3.6.0")
+        assert Oid("1.3.6.2") < Oid("1.3.10")
+        assert Oid("1.3.6.9") < Oid("1.3.6.10")
+
+    def test_hashable(self):
+        assert len({Oid("1.2"), Oid("1.2")}) == 1
+
+    @given(st.lists(st.integers(0, 2**16), max_size=10))
+    def test_str_roundtrip(self, parts):
+        o = Oid(parts)
+        assert Oid(str(o)) == o
+
+    @given(
+        st.lists(st.integers(0, 100), max_size=6),
+        st.lists(st.integers(0, 100), max_size=6),
+    )
+    def test_order_matches_tuple_order(self, a, b):
+        assert (Oid(a) < Oid(b)) == (tuple(a) < tuple(b))
+
+    def test_well_known_constants(self):
+        assert str(O.IF_IN_OCTETS) == "1.3.6.1.2.1.2.2.1.10"
+        assert str(O.IP_ROUTE_NEXT_HOP) == "1.3.6.1.2.1.4.21.1.7"
+        assert str(O.DOT1D_TP_FDB_PORT) == "1.3.6.1.2.1.17.4.3.1.2"

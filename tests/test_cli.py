@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_scenarios_lists_all(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("lan", "hub", "campus", "wan", "wireless"):
+            assert name in out
+
+    def test_flow_on_hub(self, capsys):
+        assert main(["flow", "hub", "hub_h0", "sw_h0"]) == 0
+        out = capsys.readouterr().out
+        assert "available" in out
+        assert "path" in out
+
+    def test_topology_simplified_and_raw(self, capsys):
+        assert main(["topology", "hub", "hub_h0", "hub_h1"]) == 0
+        simplified = capsys.readouterr().out
+        assert "node" in simplified and "edge" in simplified
+        assert main(["topology", "hub", "hub_h0", "hub_h1", "--raw"]) == 0
+        raw = capsys.readouterr().out
+        assert "vsw" in raw  # the hub shows up as a virtual switch
+
+    def test_unknown_host_exits_with_hint(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["flow", "hub", "nope", "sw_h0"])
+        assert "hub_h0" in str(exc.value)  # the hint lists real hosts
+
+    def test_models_table(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for spec in ("MEAN", "AR(16)", "ARFIMA", "EXPERTS"):
+            assert spec in out
+
+    def test_forecast(self, capsys):
+        assert main(["forecast", "--spec", "AR(4)", "--horizon", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 4  # header + 3 horizon rows
+
+    def test_nodes_query(self, capsys):
+        assert main(["nodes", "hub", "hub_h0", "--spec", "AR(4)"]) == 0
+        out = capsys.readouterr().out
+        assert "load" in out and "forecast" in out
+
+    def test_bad_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
