@@ -22,6 +22,7 @@ import sys
 
 import numpy as np
 
+from repro import obs
 from repro.common.errors import RemosError
 from repro.common.units import MBPS, fmt_rate
 
@@ -193,10 +194,49 @@ def cmd_forecast(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    """Exercise every layer of a scenario and dump the obs registry."""
+    from repro.netsim.agents import attach_trace
+    from repro.rps.hostload import host_load_trace
+    from repro.rps.service import RpsPredictionService
+
+    with obs.scoped_registry() as reg:
+        net, dep = _build(args.scenario)
+        reg.use_sim_clock(net.engine)
+        hosts = sorted(
+            (h for h in net.hosts() if any(i.ip for i in h.interfaces)),
+            key=lambda h: h.name,
+        )
+        if len(hosts) < 2:
+            raise SystemExit("stats needs a scenario with at least two hosts")
+        src, dst = hosts[0], hosts[1]
+        for i, h in enumerate((src, dst)):
+            if h.load_source is None:
+                attach_trace(h, host_load_trace(2000, seed=i), dt=1.0)
+            dep.attach_host_sensor(h, args.spec)
+        dep.modeler.prediction_service = RpsPredictionService(args.spec)
+        dep.enable_streaming_prediction(args.spec)
+        dep.start_monitoring()
+        dep.start_benchmarks()
+        net.engine.run_until(net.now + args.runtime)
+        dep.modeler.topology_query([src, dst])
+        dep.modeler.flow_query(src, dst, predict=True)
+        dep.modeler.node_query([src, dst], predict=True)
+        if args.format in ("json", "both"):
+            print(obs.export.to_json(reg))
+        if args.format in ("prom", "both"):
+            print(obs.export.to_prometheus(reg))
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
         description="Remos (HPDC 2001) reproduction: query simulated worlds",
+    )
+    p.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="enable debug logging on the repro logger",
     )
     sub = p.add_subparsers(dest="command", required=True)
 
@@ -226,6 +266,23 @@ def make_parser() -> argparse.ArgumentParser:
     fo.add_argument("--samples", type=int, default=600)
     fo.add_argument("--horizon", type=int, default=10)
     fo.add_argument("--seed", type=int, default=0)
+
+    st = sub.add_parser(
+        "stats", help="run a demo scenario and dump the metrics registry"
+    )
+    st.add_argument(
+        "scenario", nargs="?", default="hub",
+        help="scenario name or a topology .json spec (default: hub)",
+    )
+    st.add_argument(
+        "--runtime", type=float, default=120.0,
+        help="simulated seconds to run before dumping (default: 120)",
+    )
+    st.add_argument(
+        "--format", choices=("json", "prom", "both"), default="both",
+        help="output format (default: both)",
+    )
+    st.add_argument("--spec", default="AR(16)", help="RPS model spec")
     return p
 
 
@@ -236,11 +293,14 @@ COMMANDS = {
     "nodes": cmd_nodes,
     "models": cmd_models,
     "forecast": cmd_forecast,
+    "stats": cmd_stats,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
+    if args.verbose:
+        obs.log.configure(verbose=True)
     try:
         return COMMANDS[args.command](args)
     except RemosError as exc:

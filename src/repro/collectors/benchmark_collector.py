@@ -20,6 +20,7 @@ import math
 from collections import deque
 from dataclasses import dataclass
 
+from repro import obs
 from repro.common.errors import QueryError
 from repro.common.units import BITS_PER_BYTE
 from repro.netsim.address import IPv4Address
@@ -121,6 +122,8 @@ class BenchmarkCollector:
         )
         self.history[peer_site].append(meas)
         self.probes_run += 1
+        obs.counter("collectors.benchmark.probes", method=self.config.method).inc()
+        obs.histogram("collectors.benchmark.throughput_bps").observe(throughput)
         return meas
 
     def _measure_rtt(self, peer_site: str) -> float:

@@ -22,8 +22,10 @@ revealing that the response was obtained from multiple collectors"
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 
+from repro import obs
 from repro.common.errors import QueryError, UnknownHostError
 from repro.netsim.address import IPv4Address, IPv4Network
 from repro.netsim.topology import Network
@@ -37,6 +39,8 @@ from repro.collectors.base import (
 )
 from repro.collectors.directory import CollectorDirectory, Registration
 from repro.modeler.graph import TopoEdge, TopoNode, TopologyGraph
+
+log = obs.get_logger(__name__)
 
 
 class MasterCollector(Collector):
@@ -67,6 +71,11 @@ class MasterCollector(Collector):
             return False
 
     def topology(self, request: TopologyRequest) -> TopologyResponse:
+        """Answer a query (partition / delegate / merge, as a span)."""
+        with obs.span("collectors.master.topology", collector=self.name):
+            return self._topology(request)
+
+    def _topology(self, request: TopologyRequest) -> TopologyResponse:
         self.queries_served += 1
         # 1. Partition addresses by responsible registration.
         groups: dict[int, list[str]] = defaultdict(list)
@@ -81,10 +90,19 @@ class MasterCollector(Collector):
             groups[id(reg)].append(ip_s)
             regs[id(reg)] = reg
 
+        obs.histogram("collectors.master.fanout").observe(len(groups))
+        if unresolved:
+            obs.counter("collectors.master.unresolved_ips").inc(len(unresolved))
+        log.debug(
+            "%s: partitioned %d addresses into %d site groups (%d unresolved)",
+            self.name, len(request.node_ips), len(groups), len(unresolved),
+        )
+
         merged = TopologyGraph()
         anchors: dict[str, str] = {}
         site_anchor_node: dict[str, str] = {}
         pdu_cost = 0
+        merge_wall_s = 0.0
         multi_site = len(groups) > 1
 
         # 2. Delegate each group to its collector.
@@ -102,7 +120,9 @@ class MasterCollector(Collector):
                     anchor_ip=anchor,
                 )
             )
+            t0 = time.perf_counter()
             merged.merge(sub.graph)
+            merge_wall_s += time.perf_counter() - t0
             unresolved.extend(sub.unresolved)
             pdu_cost += sub.pdu_cost
             anchors.update(sub.anchors)
@@ -124,6 +144,8 @@ class MasterCollector(Collector):
                         site_anchor_node[b_site],
                     )
 
+        obs.histogram("collectors.master.merge_wall_s").observe(merge_wall_s)
+        obs.histogram("collectors.master.query_pdus").observe(pdu_cost)
         return TopologyResponse(
             graph=merged,
             unresolved=tuple(dict.fromkeys(unresolved)),
@@ -160,7 +182,9 @@ class MasterCollector(Collector):
         m_ab = self._measure_direction(a_site, b_site)
         m_ba = self._measure_direction(b_site, a_site)
         if m_ab is None and m_ba is None:
+            log.debug("no benchmark data between %s and %s", a_site, b_site)
             return  # no measurement available: sites stay unstitched
+        obs.counter("collectors.master.wan_edges").inc()
         ab = m_ab.throughput_bps if m_ab else m_ba.throughput_bps
         ba = m_ba.throughput_bps if m_ba else m_ab.throughput_bps
         rtts = [m.rtt_s for m in (m_ab, m_ba) if m is not None and m.rtt_s > 0]
@@ -183,6 +207,10 @@ class MasterCollector(Collector):
         """Measurement history for an edge: delegate to whichever
         collector monitors it, or serve benchmark history for logical
         WAN edges between site anchors."""
+        with obs.span("collectors.master.history", collector=self.name):
+            return self._history(request)
+
+    def _history(self, request: HistoryRequest) -> HistoryResponse | None:
         # logical WAN edge between two known site anchors?
         a_site = self._anchor_sites.get(request.edge_a)
         b_site = self._anchor_sites.get(request.edge_b)

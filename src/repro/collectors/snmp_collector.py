@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.common.errors import (
     QueryError,
     SnmpError,
@@ -58,6 +59,8 @@ from repro.modeler.graph import (
 
 #: bound on L3 hops followed per path (routing loop guard)
 MAX_L3_HOPS = 32
+
+log = obs.get_logger(__name__)
 
 
 @dataclass
@@ -160,6 +163,11 @@ class SnmpCollector(Collector):
         return any(ip in d for d in self.config.domains)
 
     def topology(self, request: TopologyRequest) -> TopologyResponse:
+        """Answer a topology query (latency recorded as a span)."""
+        with obs.span("collectors.snmp.topology", collector=self.name):
+            return self._topology(request)
+
+    def _topology(self, request: TopologyRequest) -> TopologyResponse:
         """Discover (or replay from cache) the topology spanning the
         requested hosts and annotate it with current dynamics.
 
@@ -318,6 +326,10 @@ class SnmpCollector(Collector):
         requested direction — what the paper's planned XML protocol
         ships to the RPS subsystem for prediction.
         """
+        with obs.span("collectors.snmp.history", collector=self.name):
+            return self._history(request)
+
+    def _history(self, request: HistoryRequest) -> HistoryResponse | None:
         for rec in self._paths.values():
             for er in rec.edges:
                 if er.key is None or {er.a, er.b} != {request.edge_a, request.edge_b}:
@@ -348,6 +360,11 @@ class SnmpCollector(Collector):
         records — the paper's "Mixed" scenario where the previous query
         left roughly 1/2 or 1/3 of the data cached.
         """
+        obs.counter("collectors.snmp.cache_flush", collector=self.name).inc()
+        log.debug(
+            "%s: flushing caches (keep_fraction=%.2f, %d paths)",
+            self.name, keep_fraction, len(self._paths),
+        )
         if keep_fraction <= 0.0:
             self._paths.clear()
             self._route_tables.clear()
@@ -408,11 +425,33 @@ class SnmpCollector(Collector):
 
     def poll_once(self) -> None:
         """Sample every monitor once (one polling sweep)."""
-        for key in sorted(self.monitors, key=lambda k: (k.agent_ip, k.ifindex)):
-            self.monitors[key].sample(self.client, self.net.now)
-        self.polls_done += 1
-        for hook in self.post_poll_hooks:
-            hook()
+        with obs.span("collectors.snmp.poll", collector=self.name):
+            for key in sorted(self.monitors, key=lambda k: (k.agent_ip, k.ifindex)):
+                self.monitors[key].sample(self.client, self.net.now)
+            self.polls_done += 1
+            for hook in self.post_poll_hooks:
+                hook()
+        obs.counter("collectors.snmp.polls", collector=self.name).inc()
+        obs.gauge("collectors.snmp.monitored_links", collector=self.name).set(
+            len(self.monitors)
+        )
+        obs.gauge("collectors.snmp.poll.staleness_s", collector=self.name).set(
+            self.staleness_s()
+        )
+
+    def staleness_s(self) -> float:
+        """Age of the oldest monitor's newest sample (0 when idle).
+
+        The paper's polling-staleness concern: how out-of-date is the
+        most neglected link's dynamic data right now?
+        """
+        now = self.net.now
+        ages = [
+            now - mon.samples[-1][0]
+            for mon in self.monitors.values()
+            if mon.samples
+        ]
+        return max(ages) if ages else 0.0
 
     def forecast_edge(self, request: HistoryRequest, horizon: int):
         """Streaming forecast for an edge, if a prediction manager is
@@ -423,6 +462,7 @@ class SnmpCollector(Collector):
 
     def _bootstrap_monitors(self, keys: set[MonitorKey]) -> None:
         """Cold links need two samples before they can report a rate."""
+        obs.counter("collectors.snmp.monitors_bootstrapped").inc(len(keys))
         ordered = sorted(keys, key=lambda k: (k.agent_ip, k.ifindex))
         for key in ordered:
             self.monitors[key].sample(self.client, self.net.now)
@@ -443,15 +483,18 @@ class SnmpCollector(Collector):
         the §6.2 "non-standard SNMP implementations" reality.
         """
         if router_ip in self._route_tables:
+            obs.counter("collectors.snmp.route_cache", result="hit").inc()
             return self._route_tables[router_ip]
         if router_ip in self._unreachable_routers:
             raise QueryError(f"router {router_ip} known unreachable")
+        obs.counter("collectors.snmp.route_cache", result="miss").inc()
         try:
             entries = self._walk_cidr_routes(router_ip)
             if not entries:
                 entries = self._walk_legacy_routes(router_ip)
         except SnmpError:
             self._unreachable_routers.add(router_ip)
+            log.debug("router %s unreachable during route walk", router_ip)
             raise
         self._route_tables[router_ip] = entries
         return entries
@@ -566,9 +609,12 @@ class SnmpCollector(Collector):
         cache_key = (str(src), str(dst))
         rev_key = (str(dst), str(src))
         if cache_key in self._paths:
+            obs.counter("collectors.snmp.path_cache", result="hit").inc()
             return self._paths[cache_key]
         if not dst_is_router and rev_key in self._paths:
+            obs.counter("collectors.snmp.path_cache", result="hit").inc()
             return self._paths[rev_key]
+        obs.counter("collectors.snmp.path_cache", result="miss").inc()
         rec = self._discover(src, dst, dst_is_router)
         self._paths[cache_key] = rec
         return rec

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.common.errors import PredictionError
 from repro.collectors.base import HistoryRequest
 from repro.collectors.monitor import MonitorKey
@@ -73,7 +74,9 @@ class StreamingPredictionManager:
                 for value in rates[fed:]:
                     sp.observe(float(value))
                     self.samples_fed += 1
+                    obs.counter("collectors.streaming.samples_fed").inc()
                 self._fed[pkey] = rates.size
+        obs.gauge("collectors.streaming.predictors").set(len(self.predictors))
 
     def forecast_edge(
         self, request: HistoryRequest, horizon: int

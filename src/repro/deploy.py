@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.common.errors import TopologyError
 from repro.netsim.address import IPv4Address, IPv4Network
 from repro.netsim.builders import HubLan, SwitchedLan, WanWorld
@@ -34,6 +35,8 @@ from repro.collectors.directory import CollectorDirectory
 from repro.collectors.master import MasterCollector
 from repro.collectors.snmp_collector import SnmpCollector, SnmpCollectorConfig
 from repro.modeler.api import Modeler
+
+log = obs.get_logger(__name__)
 
 
 @dataclass
@@ -75,11 +78,13 @@ class RemosDeployment:
 
     def start_monitoring(self) -> None:
         """Begin periodic polling in every SNMP collector."""
+        log.debug("starting monitoring in %d collectors", len(self.snmp_collectors))
         for c in self.snmp_collectors.values():
             c.start_monitoring()
 
     def start_benchmarks(self) -> None:
         """Begin periodic probing in every benchmark collector."""
+        log.debug("starting %d benchmark collectors", len(self.benchmarks))
         for i, b in enumerate(sorted(self.benchmarks.values(), key=lambda b: b.site)):
             b.start_periodic(stagger_s=i * 1.0)
 
@@ -244,6 +249,10 @@ def deploy_remos(
     )
     modeler.history_provider = deployment.history_for_edge
     modeler.node_info_provider = deployment.node_info_for
+    log.info(
+        "deployed remos: %d sites, %d bridge collectors, %d benchmarks",
+        len(sites), len(bridge_collectors), len(benchmarks),
+    )
     return deployment
 
 

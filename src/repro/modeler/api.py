@@ -24,6 +24,7 @@ from typing import Protocol
 
 import numpy as np
 
+from repro import obs
 from repro.common.errors import QueryError
 from repro.netsim.address import IPv4Address
 from repro.netsim.topology import Host, Network
@@ -138,13 +139,15 @@ class Modeler:
             detail = "simplified" if simplified else "raw"
         if detail not in ("raw", "simplified", "summary"):
             raise QueryError(f"unknown detail level {detail!r}")
-        ips = [_ip_of(h) for h in hosts]
-        graph = self._fetch(ips, include_dynamics)
-        if detail == "raw":
-            return graph
-        if detail == "simplified":
-            return simplify(graph, protect=set(ips))
-        return self._summarize(graph, ips)
+        with obs.span("modeler.topology_query", detail=detail):
+            obs.counter("modeler.queries", kind="topology").inc()
+            ips = [_ip_of(h) for h in hosts]
+            graph = self._fetch(ips, include_dynamics)
+            if detail == "raw":
+                return graph
+            if detail == "simplified":
+                return simplify(graph, protect=set(ips))
+            return self._summarize(graph, ips)
 
     @staticmethod
     def _summarize(graph: TopologyGraph, ips: list[str]) -> TopologyGraph:
@@ -217,23 +220,25 @@ class Modeler:
         to the edges along each declared flow's path before the max-min
         calculation.
         """
-        ip_pairs = [(_ip_of(s), _ip_of(d)) for s, d in pairs]
-        own = [
-            (_ip_of(s), _ip_of(d), float(rate)) for s, d, rate in (own_flows or [])
-        ]
-        involved = sorted(
-            {ip for pair in ip_pairs for ip in pair}
-            | {ip for s, d, _ in own for ip in (s, d)}
-        )
-        graph = self._fetch(involved, include_dynamics=True)
-        if own:
-            self._credit_own_flows(graph, own)
-        preds = predict_flows(graph, ip_pairs)
-        answers = [self._to_answer(p) for p in preds]
-        if predict:
-            for ans in answers:
-                self._attach_prediction(graph, ans, horizon_steps)
-        return answers
+        with obs.span("modeler.flow_query"):
+            obs.counter("modeler.queries", kind="flow").inc()
+            ip_pairs = [(_ip_of(s), _ip_of(d)) for s, d in pairs]
+            own = [
+                (_ip_of(s), _ip_of(d), float(rate)) for s, d, rate in (own_flows or [])
+            ]
+            involved = sorted(
+                {ip for pair in ip_pairs for ip in pair}
+                | {ip for s, d, _ in own for ip in (s, d)}
+            )
+            graph = self._fetch(involved, include_dynamics=True)
+            if own:
+                self._credit_own_flows(graph, own)
+            preds = predict_flows(graph, ip_pairs)
+            answers = [self._to_answer(p) for p in preds]
+            if predict:
+                for ans in answers:
+                    self._attach_prediction(graph, ans, horizon_steps)
+            return answers
 
     @staticmethod
     def _credit_own_flows(graph: TopologyGraph, own) -> None:
@@ -261,6 +266,13 @@ class Modeler:
         """Current (and optionally forecast) load of compute nodes."""
         if self.node_info_provider is None:
             raise QueryError("no node information provider configured")
+        with obs.span("modeler.node_query"):
+            obs.counter("modeler.queries", kind="node").inc()
+            return self._node_query(hosts, predict, horizon_steps)
+
+    def _node_query(
+        self, hosts, predict: bool, horizon_steps: int
+    ) -> list[NodeAnswer]:
         answers: list[NodeAnswer] = []
         for h in hosts:
             ip = _ip_of(h)

@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro import obs
 from repro.common.errors import QueryError, TopologyError
 from repro.netsim.flows import max_min_allocation
 from repro.modeler.graph import TopologyGraph
@@ -93,7 +94,10 @@ def predict_flows(
         node_paths.append(nodes)
         paths.append([dircap(a, b) for a, b in zip(nodes, nodes[1:])])
 
-    rates = max_min_allocation(paths, demands)
+    obs.histogram("modeler.maxmin.flows").observe(len(pairs))
+    obs.histogram("modeler.maxmin.constraints").observe(len(caps))
+    with obs.span("modeler.maxmin"):
+        rates = max_min_allocation(paths, demands)
 
     out: list[FlowPrediction] = []
     for (src, dst), nodes, rate in zip(pairs, node_paths, rates):

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 
+from repro import obs
 from repro.modeler.graph import (
     HOST,
     VSWITCH,
@@ -112,8 +113,27 @@ def collapse_chains(graph: TopologyGraph, protect: set[str]) -> TopologyGraph:
 
 
 def simplify(graph: TopologyGraph, protect: set[str]) -> TopologyGraph:
-    """Prune then collapse — the Modeler's standard pipeline."""
-    return collapse_chains(prune(graph, protect), protect)
+    """Prune then collapse — the Modeler's standard pipeline.
+
+    Records how much structure the application was spared: the
+    node/edge reduction ratios (``1 - after/before``, so 0 means
+    nothing removed) feed the "manageable form" claim of §2.2.
+    """
+    nodes_before = sum(1 for _ in graph.nodes())
+    edges_before = sum(1 for _ in graph.edges())
+    with obs.span("modeler.simplify"):
+        out = collapse_chains(prune(graph, protect), protect)
+    nodes_after = sum(1 for _ in out.nodes())
+    edges_after = sum(1 for _ in out.edges())
+    if nodes_before:
+        obs.histogram("modeler.simplify.node_reduction").observe(
+            1.0 - nodes_after / nodes_before
+        )
+    if edges_before:
+        obs.histogram("modeler.simplify.edge_reduction").observe(
+            1.0 - edges_after / edges_before
+        )
+    return out
 
 
 def _chainable(g: TopologyGraph, nid: str, protect: set[str]) -> bool:

@@ -34,6 +34,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import obs
+
 
 @dataclass(order=True)
 class _Event:
@@ -174,6 +176,7 @@ class Engine:
         The clock finishes exactly at ``t_end`` unless a callback
         overshot it by advancing internally.
         """
+        t0, d0 = self._now, self.dispatched
         while self._queue:
             ev = self._queue[0]
             if ev.cancelled:
@@ -184,13 +187,27 @@ class Engine:
             self.step()
         if self._now < t_end:
             self._now = t_end
+        self._observe(t0, d0)
 
     def run(self, max_events: int = 1_000_000) -> None:
         """Run until the queue drains (bounded by ``max_events``)."""
+        t0, d0 = self._now, self.dispatched
         for _ in range(max_events):
             if not self.step():
+                self._observe(t0, d0)
                 return
         raise RuntimeError(f"engine did not quiesce within {max_events} events")
+
+    def _observe(self, t0: float, d0: int) -> None:
+        """Report one run's aggregates to the metrics registry.
+
+        Aggregated per run rather than per event so the dispatch loop
+        itself carries no instrumentation overhead.
+        """
+        obs.counter("netsim.engine.events").inc(self.dispatched - d0)
+        obs.counter("netsim.engine.sim_advance_s").inc(self._now - t0)
+        obs.gauge("netsim.engine.sim_time_s").set(self._now)
+        obs.gauge("netsim.engine.queue_depth").set(len(self._queue))
 
     def pending(self) -> int:
         """Number of live events still queued."""

@@ -26,6 +26,7 @@ import itertools
 import math
 from typing import TYPE_CHECKING, Callable
 
+from repro import obs
 from repro.common.errors import TopologyError
 from repro.common.units import BITS_PER_BYTE
 from repro.netsim.engine import Timer
@@ -261,10 +262,12 @@ def max_min_allocation(
             chan_flows[id(ch)].append(i)
 
     level = 0.0
+    rounds = 0
     for _ in range(n + len(chan_cap) + 1):
         unfrozen = [i for i in range(n) if not frozen[i]]
         if not unfrozen:
             break
+        rounds += 1
         # Next demand bind.
         delta_demand = math.inf
         for i in unfrozen:
@@ -310,4 +313,5 @@ def max_min_allocation(
     for i in range(n):
         if not frozen[i]:
             rates[i] = min(level, demands[i])
+    obs.histogram("netsim.maxmin.rounds").observe(rounds)
     return rates

@@ -1,0 +1,167 @@
+"""Registry exporters: JSON snapshots and Prometheus text format.
+
+Two consumers, two formats:
+
+* :func:`snapshot` / :func:`to_json` — a plain dict / JSON document for
+  benchmark scripts and EXPERIMENTS.md tooling (registry reads replace
+  hand-rolled counters).
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (``# TYPE`` comments, ``name{label="v"} value`` samples; histograms
+  as summaries with ``quantile`` labels plus ``_sum``/``_count``), so a
+  real scrape endpoint is one HTTP handler away.
+  :func:`parse_prometheus` reads that format back, which the tests use
+  to prove the export round-trips.
+
+Metric names are dotted internally (``snmp.client.pdus``) and
+sanitised to Prometheus conventions (``repro_snmp_client_pdus``) on
+export.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+from repro.obs.metrics import Histogram, render_name
+
+#: prefix for every exported Prometheus metric
+PROM_PREFIX = "repro_"
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_RE = re.compile(r'(?P<k>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<v>[^"]*)"')
+
+
+def prom_name(name: str) -> str:
+    """``snmp.client.pdus`` -> ``repro_snmp_client_pdus``."""
+    return PROM_PREFIX + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def _finite(v: float) -> float | None:
+    """JSON-safe number (inf/nan become None)."""
+    return v if math.isfinite(v) else None
+
+
+def _histogram_summary(h: Histogram) -> dict:
+    return {
+        "count": h.count,
+        "sum": _finite(h.sum),
+        "min": _finite(h.min) if h.count else None,
+        "max": _finite(h.max) if h.count else None,
+        "mean": _finite(h.mean),
+        "quantiles": {
+            str(q): _finite(v) for q, v in h.quantiles().items()
+        },
+    }
+
+
+def snapshot(registry, max_spans: int = 256) -> dict:
+    """The registry's state as a plain dict (JSON-serialisable)."""
+    return {
+        "counters": {
+            render_name(c.name, c.labels): c.value for c in registry.counters()
+        },
+        "gauges": {
+            render_name(g.name, g.labels): _finite(g.value)
+            for g in registry.gauges()
+        },
+        "histograms": {
+            render_name(h.name, h.labels): _histogram_summary(h)
+            for h in registry.histograms()
+        },
+        "spans": [
+            {
+                "name": s.name,
+                "labels": dict(s.labels),
+                "start_s": s.start_s,
+                "duration_s": _finite(s.duration_s),
+                "wall_s": s.wall_s,
+                "depth": s.depth,
+                "parent": s.parent,
+            }
+            for s in list(registry.spans)[-max_spans:]
+        ],
+    }
+
+
+def to_json(registry, indent: int | None = 2, max_spans: int = 256) -> str:
+    return json.dumps(snapshot(registry, max_spans=max_spans), indent=indent)
+
+
+def _prom_labels(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = tuple(labels) + extra
+    if not items:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in items) + "}"
+
+
+def _prom_value(v: float) -> str:
+    if math.isnan(v):
+        return "NaN"
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    return repr(float(v))
+
+
+def to_prometheus(registry) -> str:
+    """Prometheus text exposition of every counter, gauge, histogram."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for c in registry.counters():
+        name = prom_name(c.name)
+        type_line(name, "counter")
+        lines.append(f"{name}{_prom_labels(c.labels)} {_prom_value(c.value)}")
+    for g in registry.gauges():
+        name = prom_name(g.name)
+        type_line(name, "gauge")
+        lines.append(f"{name}{_prom_labels(g.labels)} {_prom_value(g.value)}")
+    for h in registry.histograms():
+        name = prom_name(h.name)
+        type_line(name, "summary")
+        for q, v in h.quantiles().items():
+            lines.append(
+                f"{name}{_prom_labels(h.labels, (('quantile', str(q)),))} "
+                f"{_prom_value(v)}"
+            )
+        lines.append(f"{name}_sum{_prom_labels(h.labels)} {_prom_value(h.sum)}")
+        lines.append(f"{name}_count{_prom_labels(h.labels)} {h.count}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse Prometheus text format back into {(name, labels): value}.
+
+    Supports the subset :func:`to_prometheus` emits (which is the
+    standard sample syntax), so ``parse_prometheus(to_prometheus(r))``
+    recovers every exported sample.
+    """
+    out: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"unparseable sample line: {line!r}")
+        labels = tuple(
+            (lm.group("k"), lm.group("v"))
+            for lm in _LABEL_RE.finditer(m.group("labels") or "")
+        )
+        raw = m.group("value")
+        value = {"+Inf": math.inf, "-Inf": -math.inf, "NaN": math.nan}.get(
+            raw, None
+        )
+        out[(m.group("name"), labels)] = (
+            float(raw) if value is None else value
+        )
+    return out

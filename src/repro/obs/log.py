@@ -1,0 +1,63 @@
+"""Namespaced logging for the whole stack.
+
+Every module gets its logger through :func:`get_logger`, which roots
+everything under the ``repro`` logger namespace so one call configures
+the lot::
+
+    from repro.obs.log import get_logger
+    log = get_logger(__name__)        # -> logging.getLogger("repro.deploy")
+
+Nothing is emitted unless :func:`configure` (or the application's own
+``logging`` setup) attaches a handler; the library itself stays silent,
+as libraries should.  The CLI's ``--verbose`` flag calls
+``configure(verbose=True)``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+ROOT = "repro"
+
+#: format used by configure(); includes the namespaced logger so a
+#: verbose run doubles as a per-layer event trace
+_FORMAT = "%(levelname).1s %(name)s: %(message)s"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` namespace.
+
+    Accepts a module ``__name__`` (already rooted at ``repro``), a bare
+    suffix like ``"deploy"``, or None for the root ``repro`` logger.
+    """
+    if not name or name == ROOT:
+        return logging.getLogger(ROOT)
+    if name == "__main__":
+        return logging.getLogger(f"{ROOT}.cli")
+    if name.startswith(ROOT + ".") :
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT}.{name}")
+
+
+def configure(
+    verbose: bool = False, stream=None, level: int | None = None
+) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` root logger.
+
+    ``verbose=True`` selects DEBUG, otherwise INFO; an explicit
+    ``level`` wins over both.  Idempotent: re-configuring replaces the
+    handler installed by a previous call instead of stacking another.
+    """
+    root = logging.getLogger(ROOT)
+    root.setLevel(level if level is not None else
+                  logging.DEBUG if verbose else logging.INFO)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler.set_name("repro-obs")
+    for h in list(root.handlers):
+        if h.get_name() == "repro-obs":
+            root.removeHandler(h)
+    root.addHandler(handler)
+    root.propagate = False
+    return root

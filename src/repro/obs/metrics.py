@@ -1,0 +1,187 @@
+"""Metric primitives: counters, gauges, and quantile histograms.
+
+Live instances are handed out by a
+:class:`~repro.obs.registry.MetricsRegistry`; the matching ``Null*``
+singletons are what the default no-op registry returns, so instrumented
+code pays one attribute call and nothing else when observability is
+disabled.
+
+Histograms keep exact ``count``/``sum``/``min``/``max`` plus a bounded
+reservoir of recent observations for quantile estimates — enough for
+the paper-style latency tables without unbounded memory on long runs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+#: label set rendered into a stable identity: (("k", "v"), ...)
+LabelsKey = tuple[tuple[str, str], ...]
+
+
+def labels_key(labels: dict[str, object]) -> LabelsKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def render_name(name: str, labels: LabelsKey) -> str:
+    """Canonical display form: ``name{k=v,k2=v2}`` (or bare name)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelsKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({render_name(self.name, self.labels)}={self.value})"
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, staleness, ...)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelsKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+
+    def __repr__(self) -> str:
+        return f"Gauge({render_name(self.name, self.labels)}={self.value})"
+
+
+class Histogram:
+    """Distribution summary with reservoir-backed quantiles.
+
+    ``count``/``sum``/``min``/``max`` are exact over the histogram's
+    lifetime; quantiles are computed over the last ``reservoir``
+    observations (a sliding window, which is what a monitoring system
+    wants anyway: recent latency, not all-time latency).
+    """
+
+    __slots__ = ("name", "labels", "count", "sum", "min", "max", "_window")
+
+    #: quantiles reported in snapshots and Prometheus summaries
+    QUANTILES = (0.5, 0.9, 0.99)
+
+    def __init__(
+        self, name: str, labels: LabelsKey = (), reservoir: int = 2048
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._window: deque[float] = deque(maxlen=reservoir)
+
+    def observe(self, v: float) -> None:
+        v = float(v)
+        self.count += 1
+        self.sum += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        self._window.append(v)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile over the reservoir (nan if empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._window:
+            return math.nan
+        data = sorted(self._window)
+        pos = q * (len(data) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(data) - 1)
+        frac = pos - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    def quantiles(self, qs=QUANTILES) -> dict[float, float]:
+        if not self._window:
+            return {q: math.nan for q in qs}
+        data = sorted(self._window)
+        out = {}
+        for q in qs:
+            pos = q * (len(data) - 1)
+            lo = int(pos)
+            hi = min(lo + 1, len(data) - 1)
+            frac = pos - lo
+            out[q] = data[lo] * (1.0 - frac) + data[hi] * frac
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({render_name(self.name, self.labels)}: "
+            f"n={self.count}, mean={self.mean:.4g})"
+        )
+
+
+# -- no-op twins ------------------------------------------------------
+
+
+class NullCounter:
+    __slots__ = ()
+
+    def inc(self, n: float = 1.0) -> None:
+        pass
+
+
+class NullGauge:
+    __slots__ = ()
+
+    def set(self, v: float) -> None:
+        pass
+
+    def inc(self, n: float = 1.0) -> None:
+        pass
+
+    def dec(self, n: float = 1.0) -> None:
+        pass
+
+
+class NullHistogram:
+    __slots__ = ()
+
+    def observe(self, v: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return math.nan
+
+    def quantiles(self, qs=Histogram.QUANTILES) -> dict[float, float]:
+        return {q: math.nan for q in qs}
+
+
+NULL_COUNTER = NullCounter()
+NULL_GAUGE = NullGauge()
+NULL_HISTOGRAM = NullHistogram()

@@ -1,0 +1,201 @@
+"""The metrics registry: process-global, swappable, no-op by default.
+
+Instrumented code never holds configuration — it asks the current
+registry for a handle each time::
+
+    from repro import obs
+    obs.counter("snmp.client.pdus", op="get").inc()
+    with obs.span("collectors.snmp.topology"):
+        ...
+
+The default registry is a :class:`NullRegistry` whose handles are
+shared no-op singletons, so an uninstrumented run pays one function
+call per metric touch and allocates nothing.  Experiments install a
+live :class:`MetricsRegistry` — usually through the
+:func:`scoped_registry` context manager, which restores the previous
+registry on exit so tests and benchmarks capture metrics hermetically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    LabelsKey,
+    labels_key,
+)
+from repro.obs.timebase import SimTimebase, Timebase, WallTimebase
+from repro.obs.tracing import NULL_SPAN, Span, SpanRecord
+
+
+class MetricsRegistry:
+    """A live store of counters, gauges, histograms, and spans.
+
+    ``clock`` is the timebase spans and staleness gauges are stamped
+    against — wall clock unless :meth:`use_sim_clock` points it at a
+    simulation engine.
+    """
+
+    def __init__(
+        self,
+        clock: Timebase | None = None,
+        max_spans: int = 4096,
+        reservoir: int = 2048,
+    ) -> None:
+        self.clock: Timebase = clock or WallTimebase()
+        self._reservoir = reservoir
+        self._counters: dict[tuple[str, LabelsKey], Counter] = {}
+        self._gauges: dict[tuple[str, LabelsKey], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelsKey], Histogram] = {}
+        #: completed spans, most recent last (bounded)
+        self.spans: deque[SpanRecord] = deque(maxlen=max_spans)
+        self._span_stack: list[Span] = []
+
+    # -- clock ---------------------------------------------------------
+
+    def use_sim_clock(self, source) -> None:
+        """Stamp spans against a simulation clock (engine or network)."""
+        self.clock = SimTimebase(source)
+
+    # -- handles -------------------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = (name, labels_key(labels))
+        c = self._counters.get(key)
+        if c is None:
+            c = self._counters[key] = Counter(name, key[1])
+        return c
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = (name, labels_key(labels))
+        g = self._gauges.get(key)
+        if g is None:
+            g = self._gauges[key] = Gauge(name, key[1])
+        return g
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        key = (name, labels_key(labels))
+        h = self._histograms.get(key)
+        if h is None:
+            h = self._histograms[key] = Histogram(name, key[1], self._reservoir)
+        return h
+
+    def span(self, name: str, **labels) -> Span:
+        return Span(self, name, labels_key(labels))
+
+    def _record_span(self, record: SpanRecord) -> None:
+        self.spans.append(record)
+        self.histogram(record.name + ".duration_s", **dict(record.labels)).observe(
+            record.duration_s
+        )
+
+    # -- introspection -------------------------------------------------
+
+    def counters(self) -> list[Counter]:
+        return [self._counters[k] for k in sorted(self._counters)]
+
+    def gauges(self) -> list[Gauge]:
+        return [self._gauges[k] for k in sorted(self._gauges)]
+
+    def histograms(self) -> list[Histogram]:
+        return [self._histograms[k] for k in sorted(self._histograms)]
+
+    def metric_names(self) -> set[str]:
+        """Distinct metric names (without labels) of every kind."""
+        return (
+            {n for n, _ in self._counters}
+            | {n for n, _ in self._gauges}
+            | {n for n, _ in self._histograms}
+        )
+
+    def reset(self) -> None:
+        """Drop every metric and span (the clock is kept)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self.spans.clear()
+        self._span_stack.clear()
+
+
+class NullRegistry:
+    """The default: every handle is a shared no-op singleton."""
+
+    clock: Timebase = WallTimebase()
+
+    def use_sim_clock(self, source) -> None:
+        pass
+
+    def counter(self, name: str, **labels):
+        return NULL_COUNTER
+
+    def gauge(self, name: str, **labels):
+        return NULL_GAUGE
+
+    def histogram(self, name: str, **labels):
+        return NULL_HISTOGRAM
+
+    def span(self, name: str, **labels):
+        return NULL_SPAN
+
+    def counters(self) -> list:
+        return []
+
+    def gauges(self) -> list:
+        return []
+
+    def histograms(self) -> list:
+        return []
+
+    def metric_names(self) -> set[str]:
+        return set()
+
+    @property
+    def spans(self) -> deque:
+        return deque()
+
+    def reset(self) -> None:
+        pass
+
+
+_NULL = NullRegistry()
+_current = _NULL
+
+
+def get_registry():
+    """The registry instrumented code is currently writing to."""
+    return _current
+
+
+def set_registry(registry) -> None:
+    """Install a registry globally (None restores the no-op default)."""
+    global _current
+    _current = registry if registry is not None else _NULL
+
+
+@contextmanager
+def scoped_registry(registry: MetricsRegistry | None = None):
+    """Install a registry for the duration of a ``with`` block.
+
+    Creates a fresh live :class:`MetricsRegistry` when none is given.
+    The previous registry is restored on exit, so nested scopes and
+    test isolation just work::
+
+        with scoped_registry() as reg:
+            run_experiment()
+            snapshot = export.snapshot(reg)
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    global _current
+    prev = _current
+    _current = reg
+    try:
+        yield reg
+    finally:
+        _current = prev

@@ -1,0 +1,63 @@
+"""Clock abstraction for the observability layer.
+
+The paper's evaluation measures everything — collector query latency,
+polling staleness, probe cost — in *simulated* time, while model-fit
+cost (Fig. 7) is *wall-clock* CPU time.  A :class:`Timebase` lets the
+metrics registry stamp spans and gauges against whichever clock the
+experiment cares about: spans always capture wall-clock duration via
+``perf_counter`` in addition to the registry timebase, so both numbers
+are available from one instrumentation point.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Timebase(Protocol):
+    """Anything that can report the current time in seconds."""
+
+    def now(self) -> float: ...
+
+
+class WallTimebase:
+    """Monotonic wall-clock time (``time.perf_counter``)."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class SimTimebase:
+    """The simulated clock of an engine (or anything with a ``now``).
+
+    Accepts any object exposing a ``now`` attribute or property —
+    :class:`repro.netsim.engine.Engine` and
+    :class:`repro.netsim.topology.Network` both qualify — without the
+    obs layer importing netsim (which would invert the layering).
+    """
+
+    def __init__(self, source) -> None:
+        if not hasattr(source, "now"):
+            raise TypeError(f"{source!r} has no 'now' attribute")
+        self._source = source
+
+    def now(self) -> float:
+        value = self._source.now
+        return float(value() if callable(value) else value)
+
+
+class FixedTimebase:
+    """Manually advanced clock for deterministic tests."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("cannot advance backwards")
+        self._now += dt

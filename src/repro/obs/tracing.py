@@ -1,0 +1,93 @@
+"""Lightweight span-based tracing.
+
+A span brackets one logical operation — a collector topology query, a
+polling sweep, a model fit — and records how long it took on *both*
+clocks: the registry's timebase (the simulator clock in deployed
+stacks, matching how the paper measures query latency) and the process
+wall clock (how much real CPU the reproduction itself burned).
+
+Spans nest: entering a span while another is open records the parent's
+name and a depth, so a trace of ``modeler.flow_query`` containing
+``collectors.master.topology`` containing ``collectors.snmp.topology``
+reads like a call tree.  Nesting state lives on the owning registry;
+the whole stack is single-threaded (one simulation timeline), so no
+thread-local machinery is needed.
+
+Every completed span also feeds a histogram named
+``<span name>.duration_s`` (registry-clock seconds) in the same
+registry, so latency quantiles come for free.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.obs.metrics import LabelsKey
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span."""
+
+    name: str
+    labels: LabelsKey
+    #: start/end on the registry timebase (sim time in deployed stacks)
+    start_s: float
+    end_s: float
+    #: wall-clock duration, always measured with perf_counter
+    wall_s: float
+    #: nesting depth at entry (0 = top level)
+    depth: int
+    #: name of the enclosing span, if any
+    parent: str | None
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class Span:
+    """Context manager produced by ``registry.span(name, **labels)``."""
+
+    __slots__ = ("_registry", "name", "labels", "_start", "_wall0", "_depth", "_parent")
+
+    def __init__(self, registry, name: str, labels: LabelsKey) -> None:
+        self._registry = registry
+        self.name = name
+        self.labels = labels
+
+    def __enter__(self) -> "Span":
+        stack = self._registry._span_stack
+        self._depth = len(stack)
+        self._parent = stack[-1].name if stack else None
+        stack.append(self)
+        self._start = self._registry.clock.now()
+        self._wall0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        wall = time.perf_counter() - self._wall0
+        end = self._registry.clock.now()
+        stack = self._registry._span_stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        record = SpanRecord(
+            self.name, self.labels, self._start, end, wall, self._depth, self._parent
+        )
+        self._registry._record_span(record)
+
+
+class NullSpan:
+    """Reusable no-op context manager (safe to re-enter: it has no state)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = NullSpan()

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.rps.models.base import FittedModel
 
 
@@ -67,6 +68,10 @@ class Evaluator:
         self._claimed.append(float(fc.variances[0]))
         self.fitted.step(value)
         self.observations += 1
+        obs.counter("rps.evaluator.observations").inc()
+        obs.histogram("rps.evaluator.abs_error", spec=self.fitted.spec).observe(
+            abs(err)
+        )
         return err
 
     def mse(self) -> float:
@@ -90,6 +95,7 @@ class Evaluator:
         flag = self.mse() > self.refit_tolerance * claimed
         if flag:
             self.refit_flags += 1
+            obs.counter("rps.evaluator.refit_flags").inc()
         return flag
 
     def report(self) -> EvaluationReport:

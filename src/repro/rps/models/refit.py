@@ -9,10 +9,12 @@ uses this when the error characterization degrades).
 
 from __future__ import annotations
 
+import time
 from collections import deque
 
 import numpy as np
 
+from repro import obs
 from repro.common.errors import ModelFitError
 from repro.rps.models.base import FittedModel, Forecast, Model
 
@@ -39,9 +41,14 @@ class FittedRefitting(FittedModel):
 
     def refit(self) -> None:
         """Refit the inner model on the current window now."""
+        t0 = time.perf_counter()
         try:
             self._inner = self._model.fit(np.fromiter(self._buf, dtype=float))
             self.refits += 1
+            obs.counter("rps.refit.events", spec=self._model.spec).inc()
+            obs.histogram("rps.fit.wall_s", spec=self._model.spec).observe(
+                time.perf_counter() - t0
+            )
         except ModelFitError:
             pass  # keep the old fit when the window is degenerate
         self._since_fit = 0

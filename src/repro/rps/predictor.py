@@ -11,10 +11,12 @@ predictions" (paper §2.3).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.common.errors import ModelFitError, PredictionError
 from repro.rps.evaluator import Evaluator
 from repro.rps.models.base import Forecast, Model, parse_model
@@ -44,8 +46,13 @@ class ClientServerPredictor:
     ) -> PredictionResponse:
         """Fit ``spec`` to ``history`` and forecast ``horizon`` steps."""
         model = parse_model(spec or self.default_spec)
+        t0 = time.perf_counter()
         fitted = model.fit(np.asarray(history, dtype=float))
+        obs.histogram("rps.fit.wall_s", spec=model.spec).observe(
+            time.perf_counter() - t0
+        )
         self.requests_served += 1
+        obs.counter("rps.requests", mode="client_server").inc()
         return PredictionResponse(fitted.spec, fitted.forecast(horizon))
 
 
@@ -72,7 +79,11 @@ class StreamingPredictor:
         self._refit_window = refit_window
         if len(self._window) < 2:
             raise PredictionError("streaming predictor needs history to fit")
+        t0 = time.perf_counter()
         self.fitted = self.model.fit(np.asarray(self._window))
+        obs.histogram("rps.fit.wall_s", spec=self.model.spec).observe(
+            time.perf_counter() - t0
+        )
         self.evaluator = Evaluator(self.fitted, refit_tolerance=refit_tolerance)
         self.refits = 0
         self.samples_seen = 0
@@ -89,10 +100,15 @@ class StreamingPredictor:
         return self.fitted.forecast(self.horizon)
 
     def _refit(self) -> None:
+        t0 = time.perf_counter()
         try:
             self.fitted = self.model.fit(np.asarray(self._window))
         except ModelFitError:
             return  # degenerate window: keep the old fit
+        obs.histogram("rps.fit.wall_s", spec=self.model.spec).observe(
+            time.perf_counter() - t0
+        )
+        obs.counter("rps.streaming.refits", spec=self.model.spec).inc()
         self.evaluator = Evaluator(
             self.fitted,
             window=self.evaluator.window,

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.common.errors import ModelFitError
 from repro.rps.predictor import ClientServerPredictor
 
@@ -37,12 +38,15 @@ class RpsPredictionService:
         self, values: np.ndarray, horizon: int
     ) -> tuple[np.ndarray, np.ndarray]:
         values = np.asarray(values, dtype=float)
+        obs.counter("rps.service.requests").inc()
         for spec in (self.spec, *self.fallbacks):
             try:
                 resp = self.server.request(values, horizon, spec)
             except ModelFitError:
+                obs.counter("rps.service.fallbacks", failed_spec=spec).inc()
                 continue
             return resp.forecast.values, resp.forecast.variances
         # Last resort: constant forecast with zero claimed variance.
+        obs.counter("rps.service.last_resort").inc()
         last = float(values[-1]) if values.size else 0.0
         return np.full(horizon, last), np.zeros(horizon)

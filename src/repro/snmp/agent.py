@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.common.errors import AgentUnreachableError, AuthorizationError
 from repro.netsim.address import IPv4Address, IPv4Network
 from repro.netsim.topology import Network, Node, Router, Switch
@@ -43,6 +44,8 @@ class SnmpAgent:
     allowed_sources: list[IPv4Network] = field(default_factory=list)
     #: hard off-switch (agent not running / device filtered)
     reachable: bool = True
+    #: MIB objects this agent served (diagnostics / per-agent load)
+    requests_served: int = 0
 
     def authorize(self, source: IPv4Address, community: str) -> None:
         """Raise unless this (source, community) pair may query.
@@ -52,22 +55,29 @@ class SnmpAgent:
         explicit refusal.
         """
         if not self.reachable or not getattr(self.device, "snmp_reachable", True):
+            obs.counter("snmp.agent.dropped", reason="down").inc()
             raise AgentUnreachableError(f"{self.device.name}: agent down")
         if community != self.community:
+            obs.counter("snmp.agent.dropped", reason="community").inc()
             raise AgentUnreachableError(
                 f"{self.device.name}: bad community (request dropped)"
             )
         if self.allowed_sources and not any(
             source in n for n in self.allowed_sources
         ):
+            obs.counter("snmp.agent.dropped", reason="acl").inc()
             raise AuthorizationError(
                 f"{self.device.name}: source {source} not permitted"
             )
 
     def get(self, oid: Oid) -> object:
+        self.requests_served += 1
+        obs.counter("snmp.agent.requests", device=self.device.name).inc()
         return self.mib.get(oid)
 
     def get_next(self, oid: Oid) -> tuple[Oid, object]:
+        self.requests_served += 1
+        obs.counter("snmp.agent.requests", device=self.device.name).inc()
         return self.mib.get_next(oid)
 
 

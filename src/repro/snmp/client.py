@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.common.errors import AgentUnreachableError, NoSuchObjectError
 from repro.netsim.address import IPv4Address
 from repro.snmp.agent import SnmpWorld
@@ -58,25 +59,29 @@ class SnmpClient:
 
     # -- internals -------------------------------------------------------
 
-    def _charge(self, n_varbinds: int) -> None:
+    def _charge(self, n_varbinds: int, op: str) -> None:
         self.pdu_count += 1
+        obs.counter("snmp.client.pdus", op=op).inc()
         self.world.net.engine.advance(
             self.cost.rtt_s + n_varbinds * self.cost.per_varbind_s
         )
 
-    def _agent(self, ip: IPv4Address | str):
+    def _timeout(self, op: str) -> None:
+        self.pdu_count += 1
+        self.timeout_count += 1
+        obs.counter("snmp.client.pdus", op=op).inc()
+        obs.counter("snmp.client.timeouts").inc()
+        self.world.net.engine.advance(self.cost.timeout_s)
+
+    def _agent(self, ip: IPv4Address | str, op: str):
         agent = self.world.agent_at(ip)
         if agent is None:
-            self.pdu_count += 1
-            self.timeout_count += 1
-            self.world.net.engine.advance(self.cost.timeout_s)
+            self._timeout(op)
             raise AgentUnreachableError(f"no agent at {ip} (timeout)")
         try:
             agent.authorize(self.source_ip, self.community)
         except AgentUnreachableError:
-            self.pdu_count += 1
-            self.timeout_count += 1
-            self.world.net.engine.advance(self.cost.timeout_s)
+            self._timeout(op)
             raise
         return agent
 
@@ -84,30 +89,30 @@ class SnmpClient:
 
     def get(self, ip: IPv4Address | str, oid: Oid | str) -> object:
         """GET a single object."""
-        agent = self._agent(ip)
-        self._charge(1)
+        agent = self._agent(ip, "get")
+        self._charge(1, "get")
         return agent.get(Oid(oid))
 
     def get_many(self, ip: IPv4Address | str, oids: list[Oid]) -> list[object]:
         """GET several objects in one PDU (missing OIDs raise)."""
-        agent = self._agent(ip)
-        self._charge(len(oids))
+        agent = self._agent(ip, "get")
+        self._charge(len(oids), "get")
         return [agent.get(Oid(o)) for o in oids]
 
     def get_next(self, ip: IPv4Address | str, oid: Oid | str) -> tuple[Oid, object]:
         """GETNEXT: the lexicographically next object."""
-        agent = self._agent(ip)
-        self._charge(1)
+        agent = self._agent(ip, "getnext")
+        self._charge(1, "getnext")
         return agent.get_next(Oid(oid))
 
     def walk(self, ip: IPv4Address | str, prefix: Oid | str) -> list[tuple[Oid, object]]:
         """All objects under ``prefix`` via repeated GETNEXT."""
         prefix = Oid(prefix)
-        agent = self._agent(ip)
+        agent = self._agent(ip, "getnext")
         results: list[tuple[Oid, object]] = []
         current = prefix
         while True:
-            self._charge(1)
+            self._charge(1, "getnext")
             try:
                 nxt, value = agent.get_next(current)
             except NoSuchObjectError:
@@ -116,6 +121,7 @@ class SnmpClient:
                 break
             results.append((nxt, value))
             current = nxt
+        obs.histogram("snmp.client.walk_len").observe(len(results))
         return results
 
     def table_column(

@@ -1,0 +1,80 @@
+"""Tests for the JSON and Prometheus exporters."""
+
+import json
+import math
+
+from repro.obs import export
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timebase import FixedTimebase
+
+
+def populated_registry() -> MetricsRegistry:
+    clock = FixedTimebase()
+    reg = MetricsRegistry(clock=clock)
+    reg.counter("snmp.client.pdus", op="get").inc(7)
+    reg.counter("snmp.client.pdus", op="getnext").inc(3)
+    reg.gauge("netsim.engine.queue_depth").set(4)
+    for v in (0.1, 0.2, 0.3):
+        reg.histogram("rps.fit.wall_s", spec="AR(16)").observe(v)
+    with reg.span("modeler.flow_query"):
+        clock.advance(1.5)
+    return reg
+
+
+class TestSnapshot:
+    def test_snapshot_structure(self):
+        snap = export.snapshot(populated_registry())
+        assert snap["counters"]["snmp.client.pdus{op=get}"] == 7.0
+        assert snap["gauges"]["netsim.engine.queue_depth"] == 4.0
+        h = snap["histograms"]["rps.fit.wall_s{spec=AR(16)}"]
+        assert h["count"] == 3
+        assert h["mean"] == (0.1 + 0.2 + 0.3) / 3
+        (span,) = snap["spans"]
+        assert span["name"] == "modeler.flow_query"
+        assert span["duration_s"] == 1.5
+
+    def test_to_json_is_valid_json(self):
+        doc = json.loads(export.to_json(populated_registry()))
+        assert "counters" in doc and "spans" in doc
+
+    def test_nonfinite_values_become_null(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(math.inf)
+        snap = export.snapshot(reg)
+        assert snap["gauges"]["g"] is None
+        json.dumps(snap)  # must not raise
+
+
+class TestPrometheus:
+    def test_name_sanitisation(self):
+        assert export.prom_name("snmp.client.pdus") == "repro_snmp_client_pdus"
+
+    def test_type_lines_present(self):
+        text = export.to_prometheus(populated_registry())
+        assert "# TYPE repro_snmp_client_pdus counter" in text
+        assert "# TYPE repro_netsim_engine_queue_depth gauge" in text
+        assert "# TYPE repro_rps_fit_wall_s summary" in text
+
+    def test_round_trip(self):
+        reg = populated_registry()
+        samples = export.parse_prometheus(export.to_prometheus(reg))
+        assert samples[("repro_snmp_client_pdus", (("op", "get"),))] == 7.0
+        assert samples[("repro_netsim_engine_queue_depth", ())] == 4.0
+        assert samples[
+            ("repro_rps_fit_wall_s_count", (("spec", "AR(16)"),))
+        ] == 3.0
+        assert samples[
+            ("repro_rps_fit_wall_s_sum", (("spec", "AR(16)"),))
+        ] == (0.1 + 0.2 + 0.3)
+        # the span's auto-histogram exports too
+        assert samples[
+            ("repro_modeler_flow_query_duration_s_count", ())
+        ] == 1.0
+
+    def test_round_trip_nonfinite(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(math.inf)
+        reg.histogram("h")  # empty: quantiles are NaN
+        samples = export.parse_prometheus(export.to_prometheus(reg))
+        assert samples[("repro_g", ())] == math.inf
+        assert math.isnan(samples[("repro_h", (("quantile", "0.5"),))])

@@ -1,0 +1,99 @@
+"""Tests for the metric primitives (counters, gauges, histograms)."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    labels_key,
+    render_name,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7.0
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        h = Histogram("lat")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 10.0
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.mean == 2.5
+
+    def test_quantiles_interpolate(self):
+        h = Histogram("lat")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.quantile(0.5) == pytest.approx(50.5)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+        qs = h.quantiles()
+        assert set(qs) == {0.5, 0.9, 0.99}
+
+    def test_empty_quantile_is_nan(self):
+        h = Histogram("lat")
+        assert math.isnan(h.quantile(0.5))
+        assert all(math.isnan(v) for v in h.quantiles().values())
+
+    def test_quantile_range_checked(self):
+        h = Histogram("lat")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_reservoir_bounds_window_not_totals(self):
+        h = Histogram("lat", reservoir=10)
+        for v in range(100):
+            h.observe(float(v))
+        assert h.count == 100  # exact lifetime count
+        assert h.min == 0.0 and h.max == 99.0
+        # quantiles see only the last 10 observations
+        assert h.quantile(0.0) == 90.0
+
+
+class TestLabels:
+    def test_labels_key_is_sorted_and_stringified(self):
+        assert labels_key({"b": 2, "a": "x"}) == (("a", "x"), ("b", "2"))
+
+    def test_render_name(self):
+        assert render_name("pdus", ()) == "pdus"
+        assert render_name("pdus", (("op", "get"),)) == "pdus{op=get}"
+
+
+class TestNullTwins:
+    def test_null_handles_absorb_everything(self):
+        NULL_COUNTER.inc()
+        NULL_GAUGE.set(3)
+        NULL_GAUGE.inc()
+        NULL_GAUGE.dec()
+        NULL_HISTOGRAM.observe(1.0)
+        assert math.isnan(NULL_HISTOGRAM.quantile(0.5))

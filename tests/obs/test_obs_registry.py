@@ -1,0 +1,102 @@
+"""Tests for the swappable registry and the no-op default."""
+
+from repro import obs
+from repro.obs.metrics import NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM
+from repro.obs.registry import (
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    scoped_registry,
+    set_registry,
+)
+
+
+class TestDefaultRegistry:
+    def test_default_is_noop(self):
+        assert isinstance(get_registry(), NullRegistry)
+
+    def test_null_handles_are_shared_singletons(self):
+        reg = NullRegistry()
+        assert reg.counter("a", x=1) is NULL_COUNTER
+        assert reg.counter("b") is NULL_COUNTER
+        assert reg.gauge("a") is NULL_GAUGE
+        assert reg.histogram("a") is NULL_HISTOGRAM
+
+    def test_module_helpers_are_safe_when_disabled(self):
+        obs.counter("x").inc()
+        obs.gauge("x").set(1)
+        obs.histogram("x").observe(1)
+        with obs.span("x"):
+            pass
+        assert get_registry().metric_names() == set()
+
+
+class TestScopedRegistry:
+    def test_installs_and_restores(self):
+        prev = get_registry()
+        with scoped_registry() as reg:
+            assert get_registry() is reg
+            obs.counter("hits").inc()
+            assert reg.counter("hits").value == 1.0
+        assert get_registry() is prev
+
+    def test_restores_on_exception(self):
+        prev = get_registry()
+        try:
+            with scoped_registry():
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert get_registry() is prev
+
+    def test_nested_scopes(self):
+        with scoped_registry() as outer:
+            obs.counter("n").inc()
+            with scoped_registry() as inner:
+                obs.counter("n").inc(5)
+            assert get_registry() is outer
+            assert inner.counter("n").value == 5.0
+            assert outer.counter("n").value == 1.0
+
+    def test_accepts_existing_registry(self):
+        mine = MetricsRegistry()
+        with scoped_registry(mine) as reg:
+            assert reg is mine
+
+    def test_set_registry_none_restores_default(self):
+        set_registry(MetricsRegistry())
+        set_registry(None)
+        assert isinstance(get_registry(), NullRegistry)
+
+
+class TestLiveRegistry:
+    def test_handles_are_stable_per_name_and_labels(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", op="get") is reg.counter("a", op="get")
+        assert reg.counter("a", op="get") is not reg.counter("a", op="set")
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", x=1, y=2) is reg.counter("a", y=2, x=1)
+
+    def test_introspection_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        assert [c.name for c in reg.counters()] == ["a", "b"]
+
+    def test_metric_names_spans_all_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1)
+        reg.histogram("h").observe(1)
+        assert reg.metric_names() == {"c", "g", "h"}
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        with reg.span("s"):
+            pass
+        reg.reset()
+        assert reg.metric_names() == set()
+        assert len(reg.spans) == 0

@@ -1,0 +1,72 @@
+"""Tests for span tracing: nesting, clocks, duration histograms."""
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timebase import FixedTimebase, SimTimebase
+from repro.obs.tracing import NULL_SPAN
+
+
+class TestSpans:
+    def test_span_records_duration_on_registry_clock(self):
+        clock = FixedTimebase()
+        reg = MetricsRegistry(clock=clock)
+        with reg.span("op"):
+            clock.advance(2.5)
+        (rec,) = reg.spans
+        assert rec.name == "op"
+        assert rec.duration_s == 2.5
+        assert rec.wall_s >= 0.0  # wall clock measured independently
+
+    def test_nesting_depth_and_parent(self):
+        reg = MetricsRegistry(clock=FixedTimebase())
+        with reg.span("outer"):
+            with reg.span("inner"):
+                pass
+        inner, outer = reg.spans  # completed innermost-first
+        assert inner.name == "inner"
+        assert inner.depth == 1 and inner.parent == "outer"
+        assert outer.depth == 0 and outer.parent is None
+
+    def test_completed_span_feeds_duration_histogram(self):
+        clock = FixedTimebase()
+        reg = MetricsRegistry(clock=clock)
+        for dt in (1.0, 3.0):
+            with reg.span("query", collector="c1"):
+                clock.advance(dt)
+        h = reg.histogram("query.duration_s", collector="c1")
+        assert h.count == 2
+        assert h.sum == 4.0
+
+    def test_span_survives_exception(self):
+        reg = MetricsRegistry(clock=FixedTimebase())
+        try:
+            with reg.span("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert len(reg.spans) == 1
+        assert not reg._span_stack  # stack unwound
+
+    def test_span_cap_is_bounded(self):
+        reg = MetricsRegistry(clock=FixedTimebase(), max_spans=4)
+        for _ in range(10):
+            with reg.span("op"):
+                pass
+        assert len(reg.spans) == 4
+
+    def test_sim_timebase_reads_engine_like_sources(self):
+        class Engine:
+            now = 7.0
+
+        assert SimTimebase(Engine()).now() == 7.0
+
+        class Clocky:
+            def now(self):
+                return 3.0
+
+        # a callable `now` works too (obs never imports netsim)
+        assert SimTimebase(Clocky()).now() == 3.0
+
+    def test_null_span_is_reentrant(self):
+        with NULL_SPAN:
+            with NULL_SPAN:
+                pass

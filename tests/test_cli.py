@@ -47,6 +47,23 @@ class TestCli:
         out = capsys.readouterr().out
         assert "load" in out and "forecast" in out
 
+    def test_stats_reports_every_layer(self, capsys):
+        import json
+
+        assert main(["stats", "hub", "--runtime", "40", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        names = set(doc["counters"]) | set(doc["gauges"]) | set(doc["histograms"])
+        for layer in ("netsim.", "snmp.", "collectors.", "modeler.", "rps."):
+            assert any(n.startswith(layer) for n in names), layer
+        assert doc["spans"]  # span traces included
+
+    def test_stats_prometheus_format(self, capsys):
+        assert main(["stats", "hub", "--runtime", "40", "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE" in out
+        for layer in ("netsim", "snmp", "collectors", "modeler", "rps"):
+            assert f"repro_{layer}_" in out, layer
+
     def test_bad_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
