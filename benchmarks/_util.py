@@ -7,7 +7,7 @@ Every benchmark prints a paper-style table to stdout *and* appends it to
 
 from __future__ import annotations
 
-import os
+import json
 from pathlib import Path
 
 OUT_DIR = Path(__file__).parent / "out"
@@ -20,6 +20,19 @@ def emit(name: str, lines: list[str]) -> None:
     print(f"\n=== {name} ===")
     print(text)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable result as benchmarks/out/BENCH_<name>.json.
+
+    The payload conventionally carries the benchmark's headline numbers
+    plus an ``obs`` key holding ``repro.obs.export.snapshot(reg)`` of the
+    run's registry, so regressions are diffable without re-running.
+    """
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def fmt_row(cols, widths) -> str:

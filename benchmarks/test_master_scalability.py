@@ -16,13 +16,14 @@ import time
 
 import pytest
 
+from repro import obs
 from repro.common.units import MBPS
 from repro.collectors.base import TopologyRequest
 from repro.collectors.benchmark_collector import BenchmarkConfig
 from repro.deploy import deploy_wan
 from repro.netsim.builders import SiteSpec, build_multisite_wan
 
-from _util import emit, fmt_row
+from _util import emit, emit_json, fmt_row
 
 SITE_COUNTS = [2, 4, 8, 12, 16]
 
@@ -56,7 +57,9 @@ def run_fanout():
 
 
 def test_master_fanout_scalability(benchmark):
-    results = benchmark.pedantic(run_fanout, rounds=1, iterations=1)
+    with obs.scoped_registry() as reg:
+        results = benchmark.pedantic(run_fanout, rounds=1, iterations=1)
+        snap = obs.export.snapshot(reg)
     widths = [6, 10, 10, 8, 12]
     lines = [
         "all-sites topology query vs site count (one master)",
@@ -73,6 +76,21 @@ def test_master_fanout_scalability(benchmark):
         "WAN edges); warm queries reuse cached measurements"
     )
     emit("master_scalability", lines)
+    emit_json(
+        "master_scalability",
+        {
+            "by_sites": {
+                str(n): {
+                    "cold_s": results[n][0],
+                    "warm_s": results[n][1],
+                    "edges": results[n][2],
+                    "one_pair_hz": results[n][3],
+                }
+                for n in SITE_COUNTS
+            },
+            "obs": snap,
+        },
+    )
 
     # --- shape assertions ------------------------------------------------
     # warm is much cheaper than cold at every scale

@@ -215,12 +215,15 @@ def cmd_stats(args) -> int:
                 attach_trace(h, host_load_trace(2000, seed=i), dt=1.0)
             dep.attach_host_sensor(h, args.spec)
         dep.modeler.prediction_service = RpsPredictionService(args.spec)
+        dep.modeler.query_cache_ttl_s = 5.0  # staleness window: one poll period
         dep.enable_streaming_prediction(args.spec)
         dep.start_monitoring()
         dep.start_benchmarks()
         net.engine.run_until(net.now + args.runtime)
         dep.modeler.topology_query([src, dst])
+        dep.modeler.topology_query([src, dst], detail="summary")
         dep.modeler.flow_query(src, dst, predict=True)
+        dep.modeler.flow_query(src, dst)  # repeat inside the window: cache hit
         dep.modeler.node_query([src, dst], predict=True)
         if args.format in ("json", "both"):
             print(obs.export.to_json(reg))

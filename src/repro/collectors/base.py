@@ -116,10 +116,21 @@ class PairMeasurement:
 
 @dataclass
 class RpcCostModel:
-    """Simulated latency charged per inter-component call."""
+    """Simulated latency charged per inter-component call.
+
+    ``dispatch_s`` and ``max_parallel`` shape *overlapped* fan-out
+    (see :meth:`repro.netsim.engine.Engine.overlap`): a Master issuing
+    N concurrent sub-queries pays ``dispatch_s`` per fragment serially
+    (marshalling / socket writes) and then the makespan of the
+    sub-query latencies on ``max_parallel`` workers, instead of their
+    sum.  ``max_parallel=1`` recovers strictly sequential delegation;
+    ``max_parallel=0`` is unbounded.
+    """
 
     local_s: float = 0.001  # modeler <-> master, master <-> local collectors
     remote_s: float = 0.05  # master <-> remote collectors
+    dispatch_s: float = 0.0001  # per-fragment serialization before fan-out
+    max_parallel: int = 8  # concurrent sub-queries in flight (0 = unbounded)
 
 
 class Collector(ABC):

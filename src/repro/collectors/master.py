@@ -105,21 +105,38 @@ class MasterCollector(Collector):
         merge_wall_s = 0.0
         multi_site = len(groups) > 1
 
-        # 2. Delegate each group to its collector.
-        for key in sorted(groups, key=lambda k: regs[k].site):
+        # 2. Delegate each group to its collector.  Fragments go out
+        # concurrently: the master pays a small serial dispatch cost per
+        # fragment, then the makespan of the sub-queries on
+        # ``rpc.max_parallel`` workers rather than their sum.
+        order = sorted(groups, key=lambda k: regs[k].site)
+        group_anchor: dict[int, str | None] = {}
+        subs: dict[int, TopologyResponse] = {}
+        self.net.engine.advance(self.rpc.dispatch_s * len(order))
+        with self.net.engine.overlap(self.rpc.max_parallel) as ov:
+            for key in order:
+                reg = regs[key]
+                anchor = None
+                if multi_site and reg.site in self.borders:
+                    anchor = str(self.borders[reg.site])
+                group_anchor[key] = anchor
+                with ov.task():
+                    self.net.engine.advance(
+                        self.rpc.remote_s if reg.remote else self.rpc.local_s
+                    )
+                    subs[key] = reg.collector.topology(
+                        TopologyRequest(
+                            tuple(groups[key]),
+                            include_dynamics=request.include_dynamics,
+                            anchor_ip=anchor,
+                        )
+                    )
+        obs.histogram("collectors.master.overlap_saved_s").observe(ov.saved_s)
+
+        for key in order:
             reg = regs[key]
-            ips = groups[key]
-            self.net.engine.advance(self.rpc.remote_s if reg.remote else self.rpc.local_s)
-            anchor = None
-            if multi_site and reg.site in self.borders:
-                anchor = str(self.borders[reg.site])
-            sub = reg.collector.topology(
-                TopologyRequest(
-                    tuple(ips),
-                    include_dynamics=request.include_dynamics,
-                    anchor_ip=anchor,
-                )
-            )
+            sub = subs[key]
+            anchor = group_anchor[key]
             t0 = time.perf_counter()
             merged.merge(sub.graph)
             merge_wall_s += time.perf_counter() - t0
@@ -179,6 +196,12 @@ class MasterCollector(Collector):
         directional utilization on the logical edge: the residual seen
         from each end equals that direction's measured throughput.
         """
+        if not graph.has_node(a_node) or not graph.has_node(b_node):
+            # Either anchor failed to materialise in the merged graph,
+            # so no edge could be attached: skip the measurements (and
+            # their RPC cost) outright instead of probing first.
+            log.debug("anchor missing for %s--%s, skipping probe", a_site, b_site)
+            return
         m_ab = self._measure_direction(a_site, b_site)
         m_ba = self._measure_direction(b_site, a_site)
         if m_ab is None and m_ba is None:
@@ -189,8 +212,6 @@ class MasterCollector(Collector):
         ba = m_ba.throughput_bps if m_ba else m_ab.throughput_bps
         rtts = [m.rtt_s for m in (m_ab, m_ba) if m is not None and m.rtt_s > 0]
         latency = max(rtts) / 2.0 if rtts else 0.05
-        if not graph.has_node(a_node) or not graph.has_node(b_node):
-            return
         cap = max(ab, ba)
         graph.add_edge(
             TopoEdge(
@@ -228,28 +249,55 @@ class MasterCollector(Collector):
                         tuple(m.throughput_bps for m in recent),
                     )
             return None
+        # Fan the scan out: the probes are independent, so charge the
+        # overlapped cost of the collectors asked, not their sum.
+        found: HistoryResponse | None = None
+        with self.net.engine.overlap(self.rpc.max_parallel) as ov:
+            for reg in self.directory.registrations():
+                with ov.task():
+                    self.net.engine.advance(
+                        self.rpc.remote_s if reg.remote else self.rpc.local_s
+                    )
+                    found = reg.collector.history(request)
+                if found is not None:
+                    break
+        return found
+
+    def supports_forecast(self) -> bool:
+        """Cheap capability probe: can any downstream collector serve a
+        streaming forecast right now?  Costs no simulated time — the
+        master knows this from registration state."""
         for reg in self.directory.registrations():
-            self.net.engine.advance(self.rpc.remote_s if reg.remote else self.rpc.local_s)
-            resp = reg.collector.history(request)
-            if resp is not None:
-                return resp
-        return None
+            if getattr(reg.collector, "forecast_edge", None) is None:
+                continue
+            probe = getattr(reg.collector, "supports_forecast", None)
+            if probe is None or probe():
+                return True
+        return False
 
     def forecast_edge(self, request: HistoryRequest, horizon: int):
         """Streaming forecast from whichever collector predicts the
         edge (the §2.3 shared-prediction path); None when no streaming
         predictor covers it."""
-        for reg in self.directory.registrations():
-            fn = getattr(reg.collector, "forecast_edge", None)
-            if fn is None:
-                continue
-            self.net.engine.advance(
-                self.rpc.remote_s if reg.remote else self.rpc.local_s
-            )
-            out = fn(request, horizon)
-            if out is not None:
-                return out
-        return None
+        out = None
+        with self.net.engine.overlap(self.rpc.max_parallel) as ov:
+            for reg in self.directory.registrations():
+                fn = getattr(reg.collector, "forecast_edge", None)
+                if fn is None:
+                    continue
+                probe = getattr(reg.collector, "supports_forecast", None)
+                if probe is not None and not probe():
+                    # no streaming predictor behind this registration:
+                    # there is no call to make, so charge no RPC
+                    continue
+                with ov.task():
+                    self.net.engine.advance(
+                        self.rpc.remote_s if reg.remote else self.rpc.local_s
+                    )
+                    out = fn(request, horizon)
+                if out is not None:
+                    break
+        return out
 
     # -- site statistics (Table 1 support) ------------------------------
 

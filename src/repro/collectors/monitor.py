@@ -52,6 +52,12 @@ class LinkMonitor:
         self.samples.append((now, float(inb), float(outb)))
         return True
 
+    def record(self, now: float, in_octets: float, out_octets: float) -> None:
+        """Store counter values fetched externally (batched polling:
+        one multi-varbind PDU covers every link behind an agent, then
+        the values are distributed to the monitors)."""
+        self.samples.append((now, float(in_octets), float(out_octets)))
+
     @property
     def ready(self) -> bool:
         """Two samples are needed before a rate can be reported."""

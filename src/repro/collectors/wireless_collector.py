@@ -80,7 +80,7 @@ class WirelessCollector:
         for name, ip in sorted(self.basestation_ips.items()):
             try:
                 rate = float(self.client.get(ip, O.WLAN_AIR_RATE))
-                rows = self.client.walk(ip, O.WLAN_ASSOC_STATION)
+                rows = self.client.bulk_walk(ip, O.WLAN_ASSOC_STATION)
             except SnmpError:
                 continue
             macs = tuple(

@@ -91,6 +91,16 @@ def _ip_of(host) -> str:
     return str(IPv4Address(host))
 
 
+@dataclass
+class _CachedFetch:
+    """One memoized Master response: the graph, its structural version
+    at insert time, and the sim time it was fetched."""
+
+    graph: TopologyGraph
+    version: int
+    fetched_at: float
+
+
 class Modeler:
     """One application's window into Remos."""
 
@@ -101,11 +111,20 @@ class Modeler:
         rpc_cost: RpcCostModel | None = None,
         prediction_service: "PredictionService | None" = None,
         history_provider=None,
+        query_cache_ttl_s: float = 0.0,
     ) -> None:
         self.master = master
         self.net = net
         self.rpc = rpc_cost or RpcCostModel()
         self.prediction_service = prediction_service
+        #: staleness window for memoized Master responses; 0 disables
+        #: caching entirely (every query hits the Master, the
+        #: historical behaviour).  Applications that tolerate data up
+        #: to a few seconds old — the paper's common case, since the
+        #: collectors themselves only repoll every 5 s — set this to
+        #: their tolerance and repeated queries are answered locally.
+        self.query_cache_ttl_s = query_cache_ttl_s
+        self._query_cache: dict[tuple, _CachedFetch] = {}
         #: callable (edge a, edge b) -> np.ndarray of rate history, used
         #: for predictive flow queries (see repro.deploy)
         self.history_provider = history_provider
@@ -292,6 +311,21 @@ class Modeler:
 
     def _fetch(self, ips: list[str], include_dynamics: bool) -> TopologyGraph:
         self.queries_made += 1
+        caching = self.query_cache_ttl_s > 0
+        key = (tuple(sorted(ips)), include_dynamics)
+        if caching:
+            entry = self._query_cache.get(key)
+            if (
+                entry is not None
+                and self.net.now - entry.fetched_at <= self.query_cache_ttl_s
+                and entry.graph.version == entry.version
+            ):
+                obs.counter("modeler.query_cache", result="hit").inc()
+                self.net.engine.advance(self.rpc.local_s)
+                # a copy, because flow queries credit own traffic by
+                # mutating edges in place
+                return entry.graph.copy()
+            obs.counter("modeler.query_cache", result="miss").inc()
         self.net.engine.advance(self.rpc.local_s)
         resp = self.master.topology(
             TopologyRequest(tuple(ips), include_dynamics=include_dynamics)
@@ -299,7 +333,16 @@ class Modeler:
         missing = [ip for ip in ips if ip in resp.unresolved]
         if missing:
             raise QueryError(f"hosts not covered by any collector: {missing}")
+        if caching:
+            self._query_cache[key] = _CachedFetch(
+                resp.graph, resp.graph.version, self.net.now
+            )
+            return resp.graph.copy()
         return resp.graph
+
+    def invalidate_query_cache(self) -> None:
+        """Drop memoized responses (e.g. after a known topology change)."""
+        self._query_cache.clear()
 
     @staticmethod
     def _to_answer(p: FlowPrediction) -> FlowAnswer:

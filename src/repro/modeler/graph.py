@@ -18,7 +18,11 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
+from repro import obs
 from repro.common.errors import TopologyError
+
+#: sentinel distinguishing "not cached" from a cached negative result
+_PATH_MISS = object()
 
 #: node kinds
 HOST = "host"
@@ -76,15 +80,43 @@ class TopoEdge:
 
 
 class TopologyGraph:
-    """Nodes + edges with merge, path, and bottleneck operations."""
+    """Nodes + edges with merge, path, and bottleneck operations.
+
+    Query-path operations are cached against a **mutation version**: a
+    counter bumped by every structural change (``add_node``,
+    ``add_edge``, ``remove_node``, ``merge``).  Shortest paths and the
+    sorted node/edge views are computed once per version and replayed
+    until the next mutation, so the Modeler's repeated per-pair scans
+    over one response graph stop re-running Dijkstra and re-sorting.
+    Edge *annotations* (utilization) may be updated in place without
+    bumping the version — hop-count paths do not depend on them.
+    """
 
     def __init__(self) -> None:
         self._g = nx.Graph()
+        self._version = 0
+        #: (a, b) -> node path, or None for a cached "no path" result;
+        #: valid only while ``_paths_version == _version``
+        self._paths_cache: dict[tuple[str, str], list[str] | None] = {}
+        self._paths_version = -1
+        self._nodes_cache: list[TopoNode] | None = None
+        self._edges_cache: list[TopoEdge] | None = None
+
+    @property
+    def version(self) -> int:
+        """Structural mutation counter (cache-invalidation token)."""
+        return self._version
+
+    def _touch(self) -> None:
+        self._version += 1
+        self._nodes_cache = None
+        self._edges_cache = None
 
     # -- construction --------------------------------------------------
 
     def add_node(self, node: TopoNode) -> TopoNode:
         """Add a node; merging kinds/IPs if it already exists."""
+        self._touch()
         existing: TopoNode | None = self._g.nodes.get(node.id, {}).get("data")
         if existing is not None:
             ips = tuple(dict.fromkeys(existing.ips + node.ips))
@@ -100,6 +132,7 @@ class TopologyGraph:
         for end in (edge.a, edge.b):
             if end not in self._g:
                 raise TopologyError(f"edge endpoint {end!r} not in graph")
+        self._touch()
         a, b = edge.key()
         self._g.add_edge(a, b, data=edge)
         return edge
@@ -132,10 +165,17 @@ class TopologyGraph:
         return self._g.has_edge(a, b)
 
     def nodes(self) -> list[TopoNode]:
-        return [self._g.nodes[n]["data"] for n in sorted(self._g.nodes)]
+        if self._nodes_cache is None:
+            self._nodes_cache = [self._g.nodes[n]["data"] for n in sorted(self._g.nodes)]
+        return list(self._nodes_cache)
 
     def edges(self) -> list[TopoEdge]:
-        return [d["data"] for _, _, d in sorted(self._g.edges(data=True), key=lambda t: (t[0], t[1]))]
+        if self._edges_cache is None:
+            self._edges_cache = [
+                d["data"]
+                for _, _, d in sorted(self._g.edges(data=True), key=lambda t: (t[0], t[1]))
+            ]
+        return list(self._edges_cache)
 
     def neighbors(self, node_id: str) -> list[str]:
         return sorted(self._g.neighbors(node_id))
@@ -150,16 +190,36 @@ class TopologyGraph:
         return self._g.number_of_edges()
 
     def remove_node(self, node_id: str) -> None:
+        self._touch()
         self._g.remove_node(node_id)
 
     # -- path operations -------------------------------------------------
 
     def path(self, a: str, b: str) -> list[str]:
-        """Shortest node path between two node ids."""
+        """Shortest node path between two node ids (cached per version).
+
+        Negative results ("no path") are cached too — the Modeler's
+        all-pairs scans hit disconnected pairs as often as connected
+        ones.
+        """
+        if self._paths_version != self._version:
+            self._paths_cache.clear()
+            self._paths_version = self._version
+        key = (a, b) if a <= b else (b, a)
+        cached = self._paths_cache.get(key, _PATH_MISS)
+        if cached is not _PATH_MISS:
+            obs.counter("modeler.graph.path_cache", result="hit").inc()
+            if cached is None:
+                raise TopologyError(f"no path {a!r} -> {b!r}")
+            return list(cached) if cached[0] == a else list(reversed(cached))
+        obs.counter("modeler.graph.path_cache", result="miss").inc()
         try:
-            return nx.shortest_path(self._g, a, b)
+            found = nx.shortest_path(self._g, a, b)
         except (nx.NodeNotFound, nx.NetworkXNoPath):
+            self._paths_cache[key] = None
             raise TopologyError(f"no path {a!r} -> {b!r}") from None
+        self._paths_cache[key] = list(found)
+        return list(found)
 
     def path_edges(self, a: str, b: str) -> list[TopoEdge]:
         nodes = self.path(a, b)

@@ -21,7 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro import obs
-from repro.common.errors import AgentUnreachableError, AuthorizationError
+from repro.common.errors import (
+    AgentUnreachableError,
+    AuthorizationError,
+    NoSuchObjectError,
+)
 from repro.netsim.address import IPv4Address, IPv4Network
 from repro.netsim.topology import Network, Node, Router, Switch
 from repro.snmp.mib import (
@@ -79,6 +83,21 @@ class SnmpAgent:
         self.requests_served += 1
         obs.counter("snmp.agent.requests", device=self.device.name).inc()
         return self.mib.get_next(oid)
+
+    def get_bulk(self, oid: Oid, max_repetitions: int) -> list[tuple[Oid, object]]:
+        """GetBulk: up to ``max_repetitions`` successive GETNEXT results
+        in one exchange, stopping early at the end of the MIB."""
+        out: list[tuple[Oid, object]] = []
+        current = oid
+        for _ in range(max_repetitions):
+            try:
+                current, value = self.mib.get_next(current)
+            except NoSuchObjectError:
+                break
+            out.append((current, value))
+        self.requests_served += len(out)
+        obs.counter("snmp.agent.requests", device=self.device.name).inc(len(out))
+        return out
 
 
 class SnmpWorld:

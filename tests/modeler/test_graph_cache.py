@@ -1,0 +1,118 @@
+"""Mutation-versioned caching on :class:`TopologyGraph`.
+
+Paths, node views, and edge views are memoised per structural version;
+every mutation (add_node, add_edge, remove_node, merge) must invalidate
+them, and the cached answers must stay equal to recomputed ones.
+"""
+
+import pytest
+
+from repro import obs
+from repro.common.errors import TopologyError
+from repro.modeler.graph import HOST, SWITCH, TopoEdge, TopoNode, TopologyGraph
+
+
+def _chain(ids):
+    g = TopologyGraph()
+    for i in ids:
+        g.add_node(TopoNode(i, HOST if i.startswith("h") else SWITCH, ()))
+    for a, b in zip(ids, ids[1:]):
+        g.add_edge(TopoEdge(a, b, 100e6, latency_s=0.001))
+    return g
+
+
+class TestVersioning:
+    def test_mutations_bump_version(self):
+        g = TopologyGraph()
+        v0 = g.version
+        g.add_node(TopoNode("a", HOST))
+        assert g.version > v0
+        v1 = g.version
+        g.add_node(TopoNode("b", HOST))
+        g.add_edge(TopoEdge("a", "b"))
+        assert g.version > v1
+        v2 = g.version
+        g.remove_node("b")
+        assert g.version > v2
+
+    def test_merge_bumps_version(self):
+        g = _chain(["h1", "s1"])
+        other = _chain(["s1", "h2"])
+        v = g.version
+        g.merge(other)
+        assert g.version > v
+
+
+class TestPathCache:
+    def test_repeated_path_hits_cache(self):
+        g = _chain(["h1", "s1", "s2", "h2"])
+        with obs.scoped_registry() as reg:
+            first = g.path("h1", "h2")
+            second = g.path("h1", "h2")
+            reverse = g.path("h2", "h1")
+        assert first == ["h1", "s1", "s2", "h2"]
+        assert second == first
+        assert reverse == list(reversed(first))
+        snap = obs.export.snapshot(reg)
+        assert snap["counters"]["modeler.graph.path_cache{result=miss}"] == 1
+        assert snap["counters"]["modeler.graph.path_cache{result=hit}"] == 2
+
+    def test_cached_path_is_a_copy(self):
+        g = _chain(["h1", "s1", "h2"])
+        p = g.path("h1", "h2")
+        p.append("junk")
+        assert g.path("h1", "h2") == ["h1", "s1", "h2"]
+
+    def test_add_edge_invalidates(self):
+        g = _chain(["h1", "s1", "s2", "h2"])
+        assert g.path("h1", "h2") == ["h1", "s1", "s2", "h2"]
+        g.add_edge(TopoEdge("h1", "s2", 100e6))  # shortcut appears
+        assert g.path("h1", "h2") == ["h1", "s2", "h2"]
+
+    def test_remove_node_invalidates(self):
+        g = _chain(["h1", "s1", "h2"])
+        assert g.path("h1", "h2")
+        g.remove_node("s1")
+        with pytest.raises(TopologyError):
+            g.path("h1", "h2")
+
+    def test_merge_invalidates(self):
+        g = _chain(["h1", "s1"])
+        with pytest.raises(TopologyError):
+            g.path("h1", "h2")  # caches the negative result
+        g.merge(_chain(["s1", "h2"]))
+        assert g.path("h1", "h2") == ["h1", "s1", "h2"]
+
+    def test_negative_result_cached(self):
+        g = TopologyGraph()
+        g.add_node(TopoNode("a", HOST))
+        g.add_node(TopoNode("b", HOST))
+        with obs.scoped_registry() as reg:
+            for _ in range(3):
+                with pytest.raises(TopologyError):
+                    g.path("a", "b")
+        snap = obs.export.snapshot(reg)
+        assert snap["counters"]["modeler.graph.path_cache{result=miss}"] == 1
+        assert snap["counters"]["modeler.graph.path_cache{result=hit}"] == 2
+
+
+class TestViewCaches:
+    def test_views_stable_and_sorted(self):
+        g = _chain(["h2", "h1", "s9", "s1"])  # insertion order != sorted
+        assert [n.id for n in g.nodes()] == ["h1", "h2", "s1", "s9"]
+        assert g.nodes() == g.nodes()  # cached and equal across calls
+        assert g.edges() == g.edges()
+
+    def test_view_mutation_does_not_corrupt_cache(self):
+        g = _chain(["h1", "s1", "h2"])
+        view = g.nodes()
+        view.clear()
+        assert [n.id for n in g.nodes()] == ["h1", "h2", "s1"]
+
+    def test_views_refresh_after_mutation(self):
+        g = _chain(["h1", "s1"])
+        assert len(g.nodes()) == 2
+        g.add_node(TopoNode("h2", HOST))
+        assert [n.id for n in g.nodes()] == ["h1", "h2", "s1"]
+        g.add_edge(TopoEdge("s1", "h2"))
+        assert len(g.edges()) == 2

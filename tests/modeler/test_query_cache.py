@@ -1,0 +1,116 @@
+"""Modeler query-result caching (the staleness-window memoisation).
+
+With ``query_cache_ttl_s > 0`` a repeated query inside the window is
+answered from the memoised Master response: same answers, a fraction of
+the simulated cost, and no Master RPC.  Past the window (or after
+``invalidate_query_cache``) the Master is consulted again.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import obs
+from repro.netsim.builders import build_switched_lan
+from repro.deploy import deploy_lan
+
+
+@pytest.fixture
+def lan_dep():
+    lan = build_switched_lan(8, fanout=4)
+    dep = deploy_lan(lan)
+    # warm discovery so per-query costs are stable
+    dep.modeler.flow_query(lan.hosts[0], lan.hosts[7])
+    return lan, dep
+
+
+def _hit_miss(snap):
+    c = snap["counters"]
+    return (
+        c.get("modeler.query_cache{result=hit}", 0),
+        c.get("modeler.query_cache{result=miss}", 0),
+    )
+
+
+class TestDisabledByDefault:
+    def test_no_cache_metrics_without_ttl(self, lan_dep):
+        lan, dep = lan_dep
+        assert dep.modeler.query_cache_ttl_s == 0.0
+        with obs.scoped_registry() as reg:
+            dep.modeler.flow_query(lan.hosts[0], lan.hosts[7])
+            dep.modeler.flow_query(lan.hosts[0], lan.hosts[7])
+            snap = obs.export.snapshot(reg)
+        assert _hit_miss(snap) == (0, 0)
+
+
+class TestCachedAnswers:
+    def test_cached_equals_uncached(self, lan_dep):
+        lan, dep = lan_dep
+        uncached = dep.modeler.flow_query(lan.hosts[0], lan.hosts[7])
+        dep.modeler.query_cache_ttl_s = 30.0
+        first = dep.modeler.flow_query(lan.hosts[0], lan.hosts[7])  # miss
+        second = dep.modeler.flow_query(lan.hosts[0], lan.hosts[7])  # hit
+        assert dataclasses.asdict(first) == dataclasses.asdict(uncached)
+        assert dataclasses.asdict(second) == dataclasses.asdict(uncached)
+
+    def test_hit_skips_master_and_is_cheaper(self, lan_dep):
+        lan, dep = lan_dep
+        dep.modeler.query_cache_ttl_s = 30.0
+        with obs.scoped_registry() as reg:
+            t0 = lan.net.now
+            dep.modeler.flow_query(lan.hosts[0], lan.hosts[7])
+            miss_cost = lan.net.now - t0
+            t1 = lan.net.now
+            dep.modeler.flow_query(lan.hosts[0], lan.hosts[7])
+            hit_cost = lan.net.now - t1
+            snap = obs.export.snapshot(reg)
+        assert _hit_miss(snap) == (1, 1)
+        assert hit_cost < miss_cost
+        # a cache hit costs exactly the Modeler's local processing —
+        # no Master RPC, no collector work
+        assert hit_cost == pytest.approx(dep.modeler.rpc.local_s)
+
+    def test_own_flow_credit_does_not_corrupt_cache(self, lan_dep):
+        """flow_queries mutates the fetched graph in place to credit the
+        caller's own traffic; the memoised graph must be unaffected."""
+        lan, dep = lan_dep
+        dep.modeler.query_cache_ttl_s = 30.0
+        pairs = [(lan.hosts[0], lan.hosts[7])]
+        own = [(lan.hosts[0], lan.hosts[7], 5e6)]
+        plain = dep.modeler.flow_queries(pairs)[0]  # miss: fills the cache
+        credited = dep.modeler.flow_queries(pairs, own_flows=own)[0]  # hit
+        replay = dep.modeler.flow_queries(pairs)[0]  # hit, no credit
+        assert credited.available_bps >= plain.available_bps
+        assert replay.available_bps == pytest.approx(plain.available_bps)
+
+
+class TestStaleness:
+    def test_expiry_refetches(self, lan_dep):
+        lan, dep = lan_dep
+        dep.modeler.query_cache_ttl_s = 2.0
+        with obs.scoped_registry() as reg:
+            dep.modeler.flow_query(lan.hosts[0], lan.hosts[7])  # miss
+            dep.modeler.flow_query(lan.hosts[0], lan.hosts[7])  # hit
+            lan.net.engine.advance(5.0)  # step past the window
+            dep.modeler.flow_query(lan.hosts[0], lan.hosts[7])  # miss again
+            snap = obs.export.snapshot(reg)
+        assert _hit_miss(snap) == (1, 2)
+
+    def test_invalidate_forces_refetch(self, lan_dep):
+        lan, dep = lan_dep
+        dep.modeler.query_cache_ttl_s = 30.0
+        with obs.scoped_registry() as reg:
+            dep.modeler.flow_query(lan.hosts[0], lan.hosts[7])
+            dep.modeler.invalidate_query_cache()
+            dep.modeler.flow_query(lan.hosts[0], lan.hosts[7])
+            snap = obs.export.snapshot(reg)
+        assert _hit_miss(snap) == (0, 2)
+
+    def test_distinct_queries_do_not_share_entries(self, lan_dep):
+        lan, dep = lan_dep
+        dep.modeler.query_cache_ttl_s = 30.0
+        with obs.scoped_registry() as reg:
+            dep.modeler.flow_query(lan.hosts[0], lan.hosts[7])
+            dep.modeler.flow_query(lan.hosts[0], lan.hosts[3])
+            snap = obs.export.snapshot(reg)
+        assert _hit_miss(snap) == (0, 2)
