@@ -32,7 +32,7 @@ def _warm_deployment(streaming: bool):
     dep = deploy_lan(lan, poll_interval_s=2.0)
     dep.modeler.prediction_service = RpsPredictionService("AR(16)")
     lan.net.flows.start_flow(lan.hosts[0], lan.hosts[7], demand_bps=30 * MBPS)
-    dep.modeler.flow_query(lan.hosts[0], lan.hosts[7])
+    dep.session().flow_info(lan.hosts[0], lan.hosts[7])
     if streaming:
         dep.enable_streaming_prediction("AR(16)", min_history=16)
     dep.start_monitoring()
@@ -46,7 +46,7 @@ def run_modes():
         lan, dep = _warm_deployment(streaming)
         t0 = time.perf_counter()
         for _ in range(N_QUERIES):
-            ans = dep.modeler.flow_query(
+            ans = dep.session().flow_info(
                 lan.hosts[0], lan.hosts[7], predict=True
             )
         per_query_us = 1e6 * (time.perf_counter() - t0) / N_QUERIES

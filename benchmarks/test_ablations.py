@@ -43,9 +43,9 @@ def test_ablation_maxmin_vs_naive(benchmark):
         )
         dep = deploy_wan(world)
         pairs = [(world.host("a", i), world.host("b", i)) for i in range(3)]
-        answers = dep.modeler.flow_queries(pairs)
+        answers = dep.session().flow_info_many(pairs)
         # naive: answer each pair independently, ignoring the others
-        naive = [dep.modeler.flow_query(s, d) for s, d in pairs]
+        naive = [dep.session().flow_info(s, d) for s, d in pairs]
         # ground truth: actually start all three flows
         flows = [
             world.net.flows.start_flow(s, d) for s, d in pairs

@@ -82,7 +82,7 @@ def run_fig10(consider_load: bool = False):
         overloaded = None
         if k in OVERLOADED_RUNS:
             reported = {
-                s: dep.modeler.flow_query(h, client).available_bps
+                s: dep.session().flow_info(h, client).available_bps
                 for s, h in servers.items()
             }
             overloaded = max(reported, key=lambda s: reported[s])

@@ -43,7 +43,7 @@ def run_fig11():
     local_server = world.host("eth", 1)
     remote_server = world.host("remote", 0)
 
-    reported = dep.modeler.flow_query(remote_server, client).available_bps
+    reported = dep.session().flow_info(remote_server, client).available_bps
 
     # a movie whose content rate (~0.3 Mbps) exceeds the remote link,
     # so the remote download is bandwidth-limited while the local one

@@ -23,7 +23,7 @@ from repro.collectors.base import TopologyRequest
 from repro.deploy import deploy_lan
 from repro.netsim.builders import build_switched_lan
 
-from _util import emit, fmt_row
+from _util import emit, emit_json, fmt_row
 
 SIZES = [2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 1280]
 SCENARIOS = ["cold", "part-warm", "warm-bridge", "warm"]
@@ -95,6 +95,20 @@ def test_fig3_lan_scalability(lan_world, benchmark):
     lines.append("")
     lines.append(f"cold/warm ratio at N={big}: {ratio:.1f}x (paper: >= 3x)")
     emit("fig3_lan_scalability", lines)
+    emit_json(
+        "fig3_lan_scalability",
+        {
+            "sizes": SIZES,
+            "scenarios": {
+                s: {
+                    str(n): {"sim_s": results[s][n][0], "pdus": results[s][n][1]}
+                    for n in SIZES
+                }
+                for s in SCENARIOS
+            },
+            "cold_warm_ratio_at_max": ratio,
+        },
+    )
 
     # --- shape assertions -------------------------------------------------
     for n in SIZES:

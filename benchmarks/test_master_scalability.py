@@ -49,7 +49,7 @@ def run_fanout():
         t_wall = time.perf_counter()
         k = 0
         while time.perf_counter() - t_wall < 0.2:
-            dep.modeler.flow_query(w.host("s00", 0), w.host("s01", 0))
+            dep.session().flow_info(w.host("s00", 0), w.host("s01", 0))
             k += 1
         rate_hz = k / (time.perf_counter() - t_wall)
         results[n] = (cold_s, warm_s, resp.graph.num_edges(), rate_hz)

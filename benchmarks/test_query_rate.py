@@ -15,11 +15,13 @@ its ``repro.obs`` registry snapshot as ``BENCH_*.json``.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 
 import pytest
 
-from repro import obs
+from repro import faults, obs
+from repro.common.status import QueryStatus
 from repro.common.units import MBPS
 from repro.collectors.benchmark_collector import BenchmarkConfig
 from repro.deploy import deploy_lan, deploy_wan
@@ -36,7 +38,7 @@ def warm_lan():
     dep.modeler.prediction_service = RpsPredictionService("AR(16)")
     # warm everything: discovery + monitor history
     lan.net.flows.start_flow(lan.hosts[0], lan.hosts[31], demand_bps=20 * MBPS)
-    dep.modeler.flow_query(lan.hosts[0], lan.hosts[31])
+    dep.session().flow_info(lan.hosts[0], lan.hosts[31])
     dep.start_monitoring()
     lan.net.engine.run_until(lan.net.now + 200.0)
     dep.stop()
@@ -47,7 +49,7 @@ def test_query_rate_plain(warm_lan, benchmark):
     lan, dep = warm_lan
 
     def one_query():
-        return dep.modeler.flow_query(lan.hosts[0], lan.hosts[31])
+        return dep.session().flow_info(lan.hosts[0], lan.hosts[31])
 
     with obs.scoped_registry() as reg:
         ans = benchmark(one_query)
@@ -77,7 +79,7 @@ def test_query_rate_with_prediction(warm_lan, benchmark):
     lan, dep = warm_lan
 
     def one_query():
-        return dep.modeler.flow_query(
+        return dep.session().flow_info(
             lan.hosts[0], lan.hosts[31], predict=True, horizon_steps=1
         )
 
@@ -115,7 +117,7 @@ def _build_wan():
     )
     ips = [w.host(f"s{i:02d}", 0).ip for i in range(N_SITES)]
     pairs = [(ips[0], ips[i]) for i in range(1, N_SITES)]
-    dep.modeler.flow_queries(pairs)  # cold pass: discovery + WAN stitching
+    dep.session().flow_info_many(pairs)  # cold pass: discovery + WAN stitching
     return w, dep, pairs
 
 
@@ -124,7 +126,7 @@ def _measure(w, dep, pairs, k=N_WARM_QUERIES):
     t_wall = time.perf_counter()
     t_sim = w.net.now
     for _ in range(k):
-        dep.modeler.flow_queries(pairs)
+        dep.session().flow_info_many(pairs)
     return (
         (time.perf_counter() - t_wall) / k,
         (w.net.now - t_sim) / k,
@@ -181,3 +183,51 @@ def test_multisite_warm_query_speedup():
     )
     assert sim_speedup >= 2.0, "query-path optimisations must buy >= 2x in sim time"
     assert wall_speedup >= 1.5, "and a real wall-clock rate improvement"
+
+
+def test_multisite_query_rate_under_chaos():
+    """The multi-site workload under a seeded 30% SNMP-drop storm with
+    the retry budget disabled: every query completes (no unhandled
+    exception), degradation is visible (``query.partial > 0``), and two
+    runs with the same seed produce identical answers."""
+
+    def run():
+        w = build_multisite_wan(
+            [
+                SiteSpec(f"s{i:02d}", access_bps=10 * MBPS, n_hosts=2)
+                for i in range(N_SITES)
+            ]
+        )
+        dep = deploy_wan(
+            w, bench_config=BenchmarkConfig(probe_bytes=50_000, max_age_s=3600.0)
+        )
+        inj = faults.install(
+            dep, faults.FaultPlan(seed=7, snmp_drop_prob=0.3, snmp_retries=0)
+        )
+        ips = [w.host(f"s{i:02d}", 0).ip for i in range(N_SITES)]
+        pairs = [(ips[0], ips[i]) for i in range(1, N_SITES)]
+        with obs.scoped_registry() as reg:
+            batches = [dep.session().flow_info_many(pairs) for _ in range(3)]
+            snap = obs.export.snapshot(reg)
+        return (
+            [dataclasses.asdict(a) for batch in batches for a in batch],
+            snap["counters"].get("query.partial", 0),
+            inj.injected,
+            w.net.now,
+        )
+
+    first = run()
+    assert first == run(), "same seed must reproduce the identical run"
+    answers, partial, injected, _ = first
+    assert injected > 0
+    assert partial > 0, "degradation must be visible in query.partial"
+    assert any(a["status"] != QueryStatus.OK for a in answers)
+    emit(
+        "query_rate_chaos",
+        [
+            f"{N_SITES}-site workload, seeded 30% SNMP drop, no retry budget",
+            f"faults injected: {injected}; degraded fetches: {partial}",
+            f"degraded answers: {sum(a['status'] != QueryStatus.OK for a in answers)}"
+            f"/{len(answers)}; zero unhandled exceptions",
+        ],
+    )

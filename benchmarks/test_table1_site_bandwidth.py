@@ -105,7 +105,7 @@ def run_table1():
     samples: dict[str, list[float]] = {s: [] for s in servers}
     for _ in range(N_SAMPLES):
         for site, server in servers.items():
-            ans = dep.modeler.flow_query(server, client)
+            ans = dep.session().flow_info(server, client)
             samples[site].append(ans.available_bps)
         world.net.engine.run_until(world.net.now + SAMPLE_GAP_S)
     for g in gens:

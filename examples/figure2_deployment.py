@@ -26,6 +26,7 @@ from repro.inspect import deployment_report
 from repro.modeler.api import Modeler
 from repro.netsim import SiteSpec, build_multisite_wan
 from repro.rps.service import RpsPredictionService
+from repro.session import RemosSession
 
 
 def main() -> None:
@@ -62,11 +63,15 @@ def main() -> None:
     world.net.engine.run_until(30.0)
 
     print("== the CMU application (machines at CMU and BBN) ==")
-    ans = cmu_modeler.flow_query(world.host("cmu", 0), world.host("bbn", 0))
+    ans = RemosSession(cmu_modeler).flow_info(
+        world.host("cmu", 0), world.host("bbn", 0)
+    )
     print(f"cmu -> bbn: {fmt_rate(ans.available_bps)} via {' -> '.join(ans.path)}")
 
     print("\n== the ETH application (machines at ETH and BBN) ==")
-    ans = eth_modeler.flow_query(world.host("eth", 0), world.host("bbn", 1))
+    ans = RemosSession(eth_modeler).flow_info(
+        world.host("eth", 0), world.host("bbn", 1)
+    )
     print(f"eth -> bbn: {fmt_rate(ans.available_bps)} via {' -> '.join(ans.path)}")
 
     # both applications share the same collectors: the BBN site

@@ -54,7 +54,8 @@ def main() -> None:
     attach_trace(node, trace, dt=1.0)
 
     # 1. periodic monitoring: discover the paths once, then poll
-    remos.modeler.flow_query(world.host("data", 0), world.host("viz", 0))
+    session = remos.session()
+    session.flow_info(world.host("data", 0), world.host("viz", 0))
     remos.start_monitoring()
 
     # 2. streaming host-load prediction on the compute node
@@ -65,7 +66,7 @@ def main() -> None:
     world.net.engine.run_until(world.net.now + 300.0)
 
     # 3. a predictive flow query: forecast of the bottleneck's residual
-    ans = remos.modeler.flow_query(
+    ans = session.flow_info(
         world.host("data", 0), world.host("viz", 0), predict=True
     )
     print("predictive flow query data -> viz:")

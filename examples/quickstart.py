@@ -6,7 +6,7 @@ Run with::
     python examples/quickstart.py
 
 Walks through the core API: build a topology, deploy the collector
-stack, issue topology and flow queries through the Modeler.
+stack, issue topology and flow queries through a RemosSession.
 """
 
 from repro.common.units import MBPS, fmt_rate
@@ -37,8 +37,9 @@ def main() -> None:
 
     # 4. A topology query: the virtual topology between two hosts,
     #    simplified the way an application wants to see it.
+    session = remos.session()
     client, server = world.host("cmu", 0), world.host("eth", 0)
-    topo = remos.modeler.topology_query([client, server])
+    topo = session.topology([client, server]).graph
     print("virtual topology:")
     for node in topo.nodes():
         print(f"  node {node.id:24s} kind={node.kind}")
@@ -47,9 +48,10 @@ def main() -> None:
             f"  edge {edge.a} -- {edge.b}: capacity {fmt_rate(edge.capacity_bps)}"
         )
 
-    # 5. A flow query: what bandwidth would a new transfer get?
-    answer = remos.modeler.flow_query(client, server)
-    print(f"\nflow {answer.src} -> {answer.dst}:")
+    # 5. A flow query: what bandwidth would a new transfer get?  Every
+    #    answer carries a QueryStatus; `ok` means complete and fresh.
+    answer = session.flow_info(client, server)
+    print(f"\nflow {answer.src} -> {answer.dst} (status: {answer.status}):")
     print(f"  available bandwidth : {fmt_rate(answer.available_bps)}")
     print(f"  bottleneck residual : {fmt_rate(answer.bottleneck_bps)}")
     print(f"  path                : {' -> '.join(answer.path)}")
@@ -57,7 +59,7 @@ def main() -> None:
 
     # 6. Joint queries model contention: two flows into the same
     #    2 Mbps site split it fairly.
-    answers = remos.modeler.flow_queries(
+    answers = session.flow_info_many(
         [
             (world.host("cmu", 0), world.host("eth", 0)),
             (world.host("cmu", 1), world.host("eth", 2)),

@@ -52,7 +52,7 @@ def main() -> None:
 
     # reconnect and ask Remos what the new cell offers
     flow2 = net.flows.start_flow(roamer, server, label="download2")
-    ans = remos.modeler.flow_query(roamer, server)
+    ans = remos.session().flow_info(roamer, server)
     print(f"\nafter reconnect: flow gets {fmt_rate(flow2.rate_bps)}; "
           f"Remos reports {fmt_rate(ans.available_bps)} available")
     print(f"expected fair share in {wc.locate(mac).name}: "

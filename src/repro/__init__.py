@@ -23,8 +23,8 @@ Quickstart::
     world = build_multisite_wan([SiteSpec("cmu", access_bps=10e6),
                                  SiteSpec("eth", access_bps=2e6)])
     remos = deploy_remos(world.net)
-    reply = remos.modeler.flow_query("cmu-h0", "eth-h0")
-    print(reply.available_bps)
+    reply = remos.session().flow_info("cmu-h0", "eth-h0")
+    print(reply.available_bps, reply.status)
 """
 
 __version__ = "0.1.0"

@@ -60,9 +60,12 @@ class MirrorClient:
         file_bytes: float = DEFAULT_FILE_BYTES,
         transfer_timeout_s: float = 600.0,
     ) -> None:
+        from repro.session import RemosSession
+
         if not servers:
             raise ValueError("need at least one server")
         self.modeler = modeler
+        self.session = RemosSession(modeler)
         self.net = net
         self.client = client
         self.servers = dict(servers)
@@ -81,7 +84,8 @@ class MirrorClient:
         reported: dict[str, float] = {}
         for site, server in sorted(self.servers.items()):
             try:
-                ans = self.modeler.flow_query(server, self.client)
+                # non-strict: a FAILED answer reports 0 bps by itself
+                ans = self.session.flow_info(server, self.client)
                 reported[site] = ans.available_bps
             except (QueryError, RemosError):
                 reported[site] = 0.0

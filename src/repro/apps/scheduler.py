@@ -58,9 +58,12 @@ class NodeSelector:
     """Greedy node-set selection over Remos answers."""
 
     def __init__(self, modeler, candidates) -> None:
+        from repro.session import RemosSession
+
         if len(candidates) < 2:
             raise ValueError("need at least two candidate hosts")
         self.modeler = modeler
+        self.session = RemosSession(modeler)
         self.candidates = list(candidates)
 
     def select(self, spec: JobSpec, verify: bool = False) -> Placement:
@@ -80,7 +83,7 @@ class NodeSelector:
         loads: dict[str, float] = {}
         eligible = []
         try:
-            answers = self.modeler.node_query(self.candidates)
+            answers = self.session.node_info(self.candidates)
         except QueryError:
             answers = None
         if answers is not None:
@@ -95,7 +98,7 @@ class NodeSelector:
             raise QueryError("too few nodes under the load ceiling")
 
         # 2. pairwise connectivity (summary topology query)
-        summary = self.modeler.topology_query(eligible, detail="summary")
+        summary = self.session.topology(eligible, detail="summary").graph
         ips = [_ip_of(h) for h in eligible]
 
         def pair_bw(a: str, b: str) -> float:
@@ -148,6 +151,6 @@ class NodeSelector:
 
         if verify:
             pairs = list(combinations(chosen, 2))
-            joint = self.modeler.flow_queries(pairs)
+            joint = self.session.flow_info_many(pairs)
             placement.verified_joint_bps = min(a.available_bps for a in joint)
         return placement

@@ -233,7 +233,10 @@ class HandoffVideoSession:
     ) -> None:
         if not servers:
             raise ValueError("need at least one server")
+        from repro.session import RemosSession
+
         self.modeler = modeler
+        self.session = RemosSession(modeler)
         self.net = net
         self.client = client
         self.servers = dict(servers)
@@ -249,7 +252,7 @@ class HandoffVideoSession:
     def _best_site(self) -> tuple[str, dict[str, float]]:
         reported = {}
         for site, server in sorted(self.servers.items()):
-            reported[site] = self.modeler.flow_query(server, self.client).available_bps
+            reported[site] = self.session.flow_info(server, self.client).available_bps
         best = max(sorted(reported), key=lambda s: reported[s])
         return best, reported
 
@@ -347,14 +350,17 @@ def choose_and_stream(
     load exceeds ``load_threshold`` is demoted below the responsive
     ones regardless of its bandwidth.
     """
+    from repro.session import RemosSession
+
+    session = RemosSession(modeler)
     efficiencies = efficiencies or {}
     reported: dict[str, float] = {}
     loads: dict[str, float] = {}
     for site, server in sorted(servers.items()):
-        ans = modeler.flow_query(server, client)
+        ans = session.flow_info(server, client)
         reported[site] = ans.available_bps
         if consider_load:
-            [node] = modeler.node_query([server])
+            [node] = session.node_info([server])
             loads[site] = node.load if node.load is not None else 0.0
     if consider_load:
         order = sorted(

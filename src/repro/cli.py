@@ -95,9 +95,17 @@ def cmd_topology(args) -> int:
     net, dep = _build(args.scenario)
     hosts = [_host(net, h) for h in args.hosts]
     net.engine.run_until(net.now + 10.0)
-    graph = dep.modeler.topology_query(hosts, simplified=not args.raw)
+    ans = dep.session().topology(
+        hosts, detail="raw" if args.raw else "simplified"
+    )
+    graph = ans.graph
     print(f"# topology spanning {', '.join(args.hosts)}"
           f" ({'raw' if args.raw else 'simplified'})")
+    if ans.degraded:
+        print(f"# status: {ans.status} (data age {ans.data_age_s:.1f}s)")
+        for site, st in sorted(ans.site_status.items()):
+            if st.status is not None:
+                print(f"#   {site}: {st.status} {st.detail}".rstrip())
     for n in graph.nodes():
         ips = f"  [{', '.join(n.ips)}]" if n.ips else ""
         print(f"node  {n.id:<28} {n.kind}{ips}")
@@ -112,17 +120,20 @@ def cmd_topology(args) -> int:
 
 def cmd_flow(args) -> int:
     net, dep = _build(args.scenario)
+    session = dep.session()
     src, dst = _host(net, args.src), _host(net, args.dst)
     if args.predict:
         from repro.rps.service import RpsPredictionService
 
         dep.modeler.prediction_service = RpsPredictionService(args.spec)
         # build history first
-        dep.modeler.flow_query(src, dst)
+        session.flow_info(src, dst)
         dep.start_monitoring()
         net.engine.run_until(net.now + 120.0)
-    ans = dep.modeler.flow_query(src, dst, predict=args.predict)
+    ans = session.flow_info(src, dst, predict=args.predict)
     print(f"flow {ans.src} -> {ans.dst}")
+    if ans.degraded:
+        print(f"  status    : {ans.status} (data age {ans.data_age_s:.1f}s)")
     print(f"  available : {fmt_rate(ans.available_bps)}")
     print(f"  capacity  : {fmt_rate(ans.capacity_bps)}")
     print(f"  latency   : {ans.latency_s * 1000:.1f} ms")
@@ -145,7 +156,10 @@ def cmd_nodes(args) -> int:
             attach_trace(h, host_load_trace(2000, seed=i), dt=1.0)
         dep.attach_host_sensor(h, args.spec)
     net.engine.run_until(net.now + 120.0)
-    for ans in dep.modeler.node_query(hosts, predict=True):
+    for ans in dep.session().node_info(hosts, predict=True):
+        if ans.load is None:
+            print(f"{ans.ip:>16}  no sensor ({ans.status})")
+            continue
         pred = (
             f", forecast {ans.predicted_load:.2f}"
             if ans.predicted_load is not None
@@ -220,11 +234,12 @@ def cmd_stats(args) -> int:
         dep.start_monitoring()
         dep.start_benchmarks()
         net.engine.run_until(net.now + args.runtime)
-        dep.modeler.topology_query([src, dst])
-        dep.modeler.topology_query([src, dst], detail="summary")
-        dep.modeler.flow_query(src, dst, predict=True)
-        dep.modeler.flow_query(src, dst)  # repeat inside the window: cache hit
-        dep.modeler.node_query([src, dst], predict=True)
+        session = dep.session()
+        session.topology([src, dst])
+        session.topology([src, dst], detail="summary")
+        session.flow_info(src, dst, predict=True)
+        session.flow_info(src, dst)  # repeat inside the window: cache hit
+        session.node_info([src, dst], predict=True)
         if args.format in ("json", "both"):
             print(obs.export.to_json(reg))
         if args.format in ("prom", "both"):

@@ -18,6 +18,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.common.errors import CollectorUnavailableError
+from repro.common.status import QueryStatus, SiteStatus
 from repro.netsim.address import IPv4Address
 from repro.netsim.topology import Network
 
@@ -62,6 +64,12 @@ class TopologyResponse:
     pdu_cost: int = 0
     #: anchor ip -> graph node id (filled when the request had an anchor)
     anchors: dict[str, str] = field(default_factory=dict)
+    #: quality of this fragment (see repro.common.status)
+    status: QueryStatus = QueryStatus.OK
+    #: per-site breakdown, filled by the Master on merged responses
+    site_status: dict[str, SiteStatus] = field(default_factory=dict)
+    #: age of the oldest dynamics served, in simulated seconds
+    data_age_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -131,6 +139,15 @@ class RpcCostModel:
     remote_s: float = 0.05  # master <-> remote collectors
     dispatch_s: float = 0.0001  # per-fragment serialization before fan-out
     max_parallel: int = 8  # concurrent sub-queries in flight (0 = unbounded)
+    # -- delegation survival policy (see repro.faults.install) --------
+    #: deadline per delegated fragment; 0 disables (no deadline checks)
+    fragment_timeout_s: float = 0.0
+    #: retries after a failed/timed-out fragment delegation
+    fragment_retries: int = 0
+    #: wait between fragment retries (charged on the sim clock)
+    fragment_backoff_s: float = 0.1
+    #: how long a dead collector is skipped before a re-probe (0 = off)
+    quarantine_s: float = 0.0
 
 
 class Collector(ABC):
@@ -141,6 +158,17 @@ class Collector(ABC):
         self.net = net
         #: queries served (diagnostics)
         self.queries_served = 0
+        #: sim time until which this collector is crashed (None = up);
+        #: set by repro.faults.crash_collector
+        self.crashed_until: float | None = None
+
+    def check_alive(self) -> None:
+        """Raise :class:`CollectorUnavailableError` while crashed."""
+        if self.crashed_until is not None and self.net.now < self.crashed_until:
+            raise CollectorUnavailableError(
+                f"collector {self.name} is down (until t={self.crashed_until:.1f})",
+                agent=self.name,
+            )
 
     @abstractmethod
     def covers(self, ip: IPv4Address) -> bool:

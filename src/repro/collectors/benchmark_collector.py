@@ -21,7 +21,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro import obs
-from repro.common.errors import QueryError
+from repro.common.errors import CollectorUnavailableError, QueryError
 from repro.common.units import BITS_PER_BYTE
 from repro.netsim.address import IPv4Address
 from repro.netsim.topology import Host, Network
@@ -110,6 +110,15 @@ class BenchmarkCollector:
         the same history and count their injected bytes so the
         intrusiveness/accuracy trade-off is measurable.
         """
+        inj = getattr(self.net, "faults", None)
+        if inj is not None and inj.probe_fails(self.site, peer_site):
+            # the far endpoint never answered: burn the probe deadline
+            self.net.engine.advance(inj.plan.probe_timeout_s)
+            obs.counter("collectors.benchmark.probe_failures").inc()
+            raise CollectorUnavailableError(
+                f"benchmark probe {self.site} -> {peer_site} timed out",
+                site=peer_site,
+            )
         if self.config.method == "bulk":
             throughput = self._probe_bulk(peer_site)
         elif self.config.method == "packet_pair":
@@ -206,8 +215,19 @@ class BenchmarkCollector:
         return path_capacity(path)
 
     def probe_all(self) -> list[PairMeasurement]:
-        """Probe every registered peer once."""
-        return [self.probe(site) for site in sorted(self.peers)]
+        """Probe every registered peer once.
+
+        A failing probe skips that peer instead of raising — this runs
+        from a periodic engine timer, where an escaped exception would
+        take the whole simulation down with it.
+        """
+        out: list[PairMeasurement] = []
+        for site in sorted(self.peers):
+            try:
+                out.append(self.probe(site))
+            except QueryError:
+                continue  # peer unreachable this round; history keeps the past
+        return out
 
     def start_periodic(self, stagger_s: float = 0.0) -> None:
         """Begin periodic probing of all peers."""
@@ -248,7 +268,22 @@ class BenchmarkCollector:
                 )
         if not allow_probe:
             raise QueryError(f"no measurement {self.site} -> {peer_site}")
-        return self.probe(peer_site)
+        try:
+            return self.probe(peer_site)
+        except QueryError:
+            if hist:
+                # probe failed now, but the past is better than nothing:
+                # serve the last-known-good measurement, flagged stale
+                latest = hist[-1]
+                return PairMeasurement(
+                    latest.src_site,
+                    latest.dst_site,
+                    latest.throughput_bps,
+                    latest.measured_at,
+                    rtt_s=latest.rtt_s,
+                    stale=True,
+                )
+            raise
 
     def statistics(self, peer_site: str) -> tuple[float, float, int]:
         """(mean, stddev, n) of historical throughput to a peer, in bps."""

@@ -26,7 +26,13 @@ import time
 from collections import defaultdict
 
 from repro import obs
-from repro.common.errors import QueryError, UnknownHostError
+from repro.common.errors import (
+    CollectorTimeoutError,
+    QueryError,
+    RemosError,
+    UnknownHostError,
+)
+from repro.common.status import QueryStatus, SiteStatus, combine
 from repro.netsim.address import IPv4Address, IPv4Network
 from repro.netsim.topology import Network
 from repro.collectors.base import (
@@ -62,6 +68,13 @@ class MasterCollector(Collector):
         #: anchor node id -> site, learned from past stitched queries,
         #: so history requests can recognise logical WAN edges
         self._anchor_sites: dict[str, str] = {}
+        #: id(registration) -> sim time until which it is quarantined
+        #: (delegation failed recently; skip it, re-probe after)
+        self._quarantine: dict[int, float] = {}
+        #: last-known-good fragments: (id(reg), requested ips) ->
+        #: (graph copy, fetched_at, anchors, unresolved) — served,
+        #: marked STALE, when a site stops answering
+        self._lkg: dict[tuple, tuple] = {}
 
     def covers(self, ip: IPv4Address) -> bool:
         try:
@@ -101,17 +114,22 @@ class MasterCollector(Collector):
         merged = TopologyGraph()
         anchors: dict[str, str] = {}
         site_anchor_node: dict[str, str] = {}
+        site_status: dict[str, SiteStatus] = {}
         pdu_cost = 0
         merge_wall_s = 0.0
+        data_age_s = 0.0
         multi_site = len(groups) > 1
 
         # 2. Delegate each group to its collector.  Fragments go out
         # concurrently: the master pays a small serial dispatch cost per
         # fragment, then the makespan of the sub-queries on
-        # ``rpc.max_parallel`` workers rather than their sum.
+        # ``rpc.max_parallel`` workers rather than their sum.  Each
+        # delegation survives its collector: deadline, bounded retries,
+        # quarantine of repeat offenders, and a None result instead of
+        # an escaped exception (partial-merge semantics).
         order = sorted(groups, key=lambda k: regs[k].site)
         group_anchor: dict[int, str | None] = {}
-        subs: dict[int, TopologyResponse] = {}
+        subs: dict[int, TopologyResponse | None] = {}
         self.net.engine.advance(self.rpc.dispatch_s * len(order))
         with self.net.engine.overlap(self.rpc.max_parallel) as ov:
             for key in order:
@@ -121,15 +139,8 @@ class MasterCollector(Collector):
                     anchor = str(self.borders[reg.site])
                 group_anchor[key] = anchor
                 with ov.task():
-                    self.net.engine.advance(
-                        self.rpc.remote_s if reg.remote else self.rpc.local_s
-                    )
-                    subs[key] = reg.collector.topology(
-                        TopologyRequest(
-                            tuple(groups[key]),
-                            include_dynamics=request.include_dynamics,
-                            anchor_ip=anchor,
-                        )
+                    subs[key], site_status[reg.site] = self._delegate(
+                        reg, groups[key], anchor, request
                     )
         obs.histogram("collectors.master.overlap_saved_s").observe(ov.saved_s)
 
@@ -137,12 +148,18 @@ class MasterCollector(Collector):
             reg = regs[key]
             sub = subs[key]
             anchor = group_anchor[key]
+            if sub is None:
+                # delegation failed outright: the site's addresses drop
+                # out of the answer, the rest of the query proceeds
+                unresolved.extend(groups[key])
+                continue
             t0 = time.perf_counter()
             merged.merge(sub.graph)
             merge_wall_s += time.perf_counter() - t0
             unresolved.extend(sub.unresolved)
             pdu_cost += sub.pdu_cost
             anchors.update(sub.anchors)
+            data_age_s = max(data_age_s, sub.data_age_s)
             if anchor is not None and anchor in sub.anchors:
                 site_anchor_node[reg.site] = sub.anchors[anchor]
                 self._anchor_sites[sub.anchors[anchor]] = reg.site
@@ -163,11 +180,149 @@ class MasterCollector(Collector):
 
         obs.histogram("collectors.master.merge_wall_s").observe(merge_wall_s)
         obs.histogram("collectors.master.query_pdus").observe(pdu_cost)
+        unresolved = tuple(dict.fromkeys(unresolved))
+        status = combine(s.status for s in site_status.values())
+        missed = set(unresolved) & set(request.node_ips)
+        if missed:
+            if len(missed) == len(request.node_ips):
+                status = QueryStatus.FAILED
+            else:
+                status = combine([status, QueryStatus.PARTIAL])
         return TopologyResponse(
             graph=merged,
-            unresolved=tuple(dict.fromkeys(unresolved)),
+            unresolved=unresolved,
             pdu_cost=pdu_cost,
             anchors=anchors,
+            status=status,
+            site_status=site_status,
+            data_age_s=data_age_s,
+        )
+
+    # -- delegation survival -------------------------------------------
+
+    def _survival_on(self) -> bool:
+        """Is any survival machinery armed?  When not (the default),
+        delegation must behave — and cost — exactly as it always has."""
+        return (
+            self.rpc.fragment_timeout_s > 0
+            or self.rpc.fragment_retries > 0
+            or self.rpc.quarantine_s > 0
+            or getattr(self.net, "faults", None) is not None
+        )
+
+    def _delegate(
+        self,
+        reg: Registration,
+        ips: list[str],
+        anchor: str | None,
+        request: TopologyRequest,
+    ) -> tuple[TopologyResponse | None, SiteStatus]:
+        """One fragment delegation, with deadline / retries / quarantine.
+
+        Returns ``(response, site status)``; the response is None when
+        the collector could not answer and no last-known-good fragment
+        exists — the caller merges what it got (partial semantics)
+        instead of aborting the whole query.
+        """
+        engine = self.net.engine
+        sub_request = TopologyRequest(
+            tuple(ips),
+            include_dynamics=request.include_dynamics,
+            anchor_ip=anchor,
+        )
+        survival = self._survival_on()
+        until = self._quarantine.get(id(reg), 0.0)
+        if survival and engine.now < until:
+            # known-dead collector: fail fast without an RPC, re-probe
+            # only once the quarantine lapses
+            obs.counter("collectors.master.quarantine_skips").inc()
+            stat = SiteStatus(
+                reg.site, QueryStatus.FAILED, detail="quarantined", attempts=0
+            )
+            return self._serve_lkg(reg, ips, stat)
+
+        deadline = self.rpc.fragment_timeout_s
+        attempts = 1 + (self.rpc.fragment_retries if survival else 0)
+        last_err: Exception | None = None
+        for attempt in range(attempts):
+            if attempt > 0:
+                obs.counter("collectors.master.fragment_retries").inc()
+                engine.advance(self.rpc.fragment_backoff_s)
+            t0 = engine.now
+            engine.advance(self.rpc.remote_s if reg.remote else self.rpc.local_s)
+            try:
+                sub = reg.collector.topology(sub_request)
+            except RemosError as exc:
+                if deadline > 0:
+                    # the master stopped waiting at the deadline even
+                    # if the collector burned longer before failing
+                    engine.cap_since(t0, deadline)
+                last_err = exc
+                continue
+            except Exception as exc:  # collector bug: contain, don't abort
+                log.warning("%s: collector %s raised %r", self.name, reg.collector, exc)
+                last_err = exc
+                continue
+            if deadline > 0 and engine.cap_since(t0, deadline):
+                # answer arrived after the master gave up: discard it
+                obs.counter("master.fragment_timeouts").inc()
+                last_err = CollectorTimeoutError(
+                    f"fragment for site {reg.site} exceeded {deadline}s deadline"
+                )
+                continue
+            if survival:
+                self._lkg[(id(reg), tuple(sorted(ips)))] = (
+                    sub.graph.copy(),
+                    engine.now,
+                    dict(sub.anchors),
+                    tuple(sub.unresolved),
+                )
+            self._quarantine.pop(id(reg), None)
+            return sub, SiteStatus(
+                reg.site, sub.status,
+                data_age_s=sub.data_age_s, attempts=attempt + 1,
+            )
+
+        if survival and self.rpc.quarantine_s > 0:
+            self._quarantine[id(reg)] = engine.now + self.rpc.quarantine_s
+        if isinstance(last_err, RemosError):
+            detail = str(last_err)
+        else:
+            detail = f"collector error: {last_err!r}"
+        log.debug("%s: site %s failed after %d attempts: %s",
+                  self.name, reg.site, attempts, detail)
+        stat = SiteStatus(
+            reg.site, QueryStatus.FAILED, detail=detail, attempts=attempts
+        )
+        return self._serve_lkg(reg, ips, stat)
+
+    def _serve_lkg(
+        self, reg: Registration, ips: list[str], stat: SiteStatus
+    ) -> tuple[TopologyResponse | None, SiteStatus]:
+        """Fall back to the site's last-known-good fragment, if any.
+
+        The stored graph is copied on the way out so callers mutating
+        the merged answer (own-flow crediting) cannot corrupt the
+        cache; status becomes STALE with the fragment's true age.
+        """
+        entry = self._lkg.get((id(reg), tuple(sorted(ips))))
+        if entry is None:
+            return None, stat
+        graph, fetched_at, lkg_anchors, lkg_unresolved = entry
+        obs.counter("collectors.master.lkg_served").inc()
+        age = self.net.now - fetched_at
+        stat.status = QueryStatus.STALE
+        stat.data_age_s = age
+        return (
+            TopologyResponse(
+                graph=graph.copy(),
+                unresolved=lkg_unresolved,
+                pdu_cost=0,
+                anchors=dict(lkg_anchors),
+                status=QueryStatus.STALE,
+                data_age_s=age,
+            ),
+            stat,
         )
 
     def _measure_direction(self, src_site: str, dst_site: str):
@@ -258,7 +413,10 @@ class MasterCollector(Collector):
                     self.net.engine.advance(
                         self.rpc.remote_s if reg.remote else self.rpc.local_s
                     )
-                    found = reg.collector.history(request)
+                    try:
+                        found = reg.collector.history(request)
+                    except RemosError:
+                        found = None  # collector down: ask the others
                 if found is not None:
                     break
         return found
@@ -294,7 +452,10 @@ class MasterCollector(Collector):
                     self.net.engine.advance(
                         self.rpc.remote_s if reg.remote else self.rpc.local_s
                     )
-                    out = fn(request, horizon)
+                    try:
+                        out = fn(request, horizon)
+                    except RemosError:
+                        out = None  # collector down: ask the others
                 if out is not None:
                     break
         return out

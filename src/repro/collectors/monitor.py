@@ -30,6 +30,27 @@ class MonitorKey:
     ifindex: int
 
 
+#: 32-bit octet counters (legacy agents) wrap at this modulus
+_WRAP32 = 2.0**32
+
+
+def _counter_delta(prev: float, cur: float) -> float:
+    """Octet delta between two readings, wrap- and reset-aware.
+
+    A large negative jump (more than half the 32-bit range) is a
+    counter wrap — the true delta continues past the modulus.  A small
+    negative jump means the counter rebased (device reboot); the
+    interval's traffic is unknowable, so report zero rather than a
+    wildly negative (or clamp-inflated) rate.
+    """
+    d = cur - prev
+    if d >= 0:
+        return d
+    if -d > _WRAP32 / 2:
+        return d + _WRAP32
+    return 0.0
+
+
 class LinkMonitor:
     """Counter history and utilization estimates for one interface."""
 
@@ -71,7 +92,10 @@ class LinkMonitor:
         dt = t1 - t0
         if dt <= 0:
             return (0.0, 0.0)
-        return (max(0.0, (i1 - i0) * 8.0 / dt), max(0.0, (o1 - o0) * 8.0 / dt))
+        return (
+            _counter_delta(i0, i1) * 8.0 / dt,
+            _counter_delta(o0, o1) * 8.0 / dt,
+        )
 
     def jitter_estimate(self, capacity_bps: float, base_latency_s: float) -> float:
         """Delay-variation estimate from the utilization history.
@@ -110,7 +134,10 @@ class LinkMonitor:
             return np.empty(0), np.empty(0)
         dt = np.diff(arr[:, 0])
         db = np.diff(arr[:, col])
+        # wrap-aware deltas: continue 32-bit wraps, zero out resets
+        db = np.where(db < -_WRAP32 / 2, db + _WRAP32, db)
+        db = np.maximum(db, 0.0)
         good = dt > 0
         rates = np.zeros(db.shape)
-        rates[good] = np.maximum(0.0, db[good] * 8.0 / dt[good])
+        rates[good] = db[good] * 8.0 / dt[good]
         return arr[1:, 0], rates

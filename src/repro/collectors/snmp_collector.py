@@ -35,6 +35,7 @@ from repro.common.errors import (
     TopologyError,
     UnknownHostError,
 )
+from repro.common.status import QueryStatus
 from repro.netsim.address import IPv4Address, IPv4Network, MacAddress
 from repro.netsim.topology import Network
 from repro.snmp import oid as O
@@ -181,6 +182,7 @@ class SnmpCollector(Collector):
         last sample is older than the polling interval are refreshed
         with one sample per link, so a warm query costs O(links) PDUs.
         """
+        self.check_alive()
         self.queries_served += 1
         pdus_before = self.client.pdu_count
         ips = [IPv4Address(s) for s in request.node_ips]
@@ -212,10 +214,10 @@ class SnmpCollector(Collector):
             try:
                 rec = self._route_pair(src, dst, dst_is_router)
             except (SnmpError, TopologyError, QueryError):
-                if not dst_is_router:
-                    for ip in (src, dst):
-                        if not self._host_known(graph, ip):
-                            unresolved.append(str(ip))
+                # the anchor is the site gateway, not a requested node —
+                # a failed anchor pair leaves only src uncovered
+                failed = (src,) if dst_is_router else (src, dst)
+                unresolved.extend(str(ip) for ip in failed)
                 continue
             recs.append(rec)
 
@@ -251,6 +253,7 @@ class SnmpCollector(Collector):
         # so identity covers most repeats).
         seen_edges: set[int] = set()
         seen_nodes: set[int] = set()
+        data_age_s = 0.0
         for rec in recs:
             for node in rec.nodes:
                 if id(node) in seen_nodes:
@@ -272,18 +275,45 @@ class SnmpCollector(Collector):
                         else:
                             util_ab, util_ba = in_bps, out_bps
                         jitter = mon.jitter_estimate(er.capacity_bps, er.latency_s)
+                        data_age_s = max(
+                            data_age_s, self.net.now - mon.samples[-1][0]
+                        )
                 graph.add_edge(
                     TopoEdge(
                         er.a, er.b, er.capacity_bps, util_ab, util_ba,
                         er.latency_s, jitter,
                     )
                 )
+        # a host that failed one pair may have resolved through another
+        unresolved = tuple(
+            ip for ip in dict.fromkeys(unresolved) if not graph.has_node(ip)
+        )
         return TopologyResponse(
             graph=graph,
-            unresolved=tuple(dict.fromkeys(unresolved)),
+            unresolved=unresolved,
             pdu_cost=self.client.pdu_count - pdus_before,
             anchors=anchors,
+            status=self._status_of(request, unresolved, data_age_s),
+            data_age_s=data_age_s,
         )
+
+    def _status_of(
+        self,
+        request: TopologyRequest,
+        unresolved: tuple[str, ...],
+        data_age_s: float,
+    ) -> QueryStatus:
+        """Fragment quality: FAILED when nothing resolved, PARTIAL when
+        some hosts dropped out, STALE when the served dynamics are
+        meaningfully older than one polling interval."""
+        missed = set(unresolved) & set(request.node_ips)
+        if missed:
+            if len(missed) == len(request.node_ips):
+                return QueryStatus.FAILED
+            return QueryStatus.PARTIAL
+        if data_age_s > 1.5 * self.config.poll_interval_s:
+            return QueryStatus.STALE
+        return QueryStatus.OK
 
     def _route_pair(
         self, src: IPv4Address, dst: IPv4Address, dst_is_router: bool
@@ -330,6 +360,7 @@ class SnmpCollector(Collector):
         ships to the RPS subsystem for prediction.
         """
         with obs.span("collectors.snmp.history", collector=self.name):
+            self.check_alive()
             return self._history(request)
 
     def _history(self, request: HistoryRequest) -> HistoryResponse | None:
@@ -428,6 +459,8 @@ class SnmpCollector(Collector):
 
     def poll_once(self) -> None:
         """Sample every monitor once (one polling sweep, batched)."""
+        if self.crashed_until is not None and self.net.now < self.crashed_until:
+            return  # a crashed collector's poller is down with it
         with obs.span("collectors.snmp.poll", collector=self.name):
             self._sample_monitors(self.monitors)
             self.polls_done += 1

@@ -45,6 +45,34 @@ class CollectorTimeoutError(QueryError):
     """A collector did not respond within its deadline."""
 
 
+class CollectorUnavailableError(QueryError):
+    """A collector is down, crashed, or quarantined.
+
+    ``site`` names the affected site (when known) and ``agent`` the
+    unreachable device or collector, so callers can report *what*
+    failed, not just that something did.
+    """
+
+    def __init__(self, message: str, site: str | None = None, agent: str | None = None) -> None:
+        super().__init__(message)
+        self.site = site
+        self.agent = agent
+
+
+class PartialResultError(QueryError):
+    """A strict query could only be answered for part of its scope.
+
+    Raised by the legacy (strict) Modeler entry points when some hosts
+    or sites could not be covered; ``sites`` lists the degraded sites
+    and ``unresolved`` the host addresses left out of the answer.
+    """
+
+    def __init__(self, message: str, sites: tuple[str, ...] = (), unresolved: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.sites = tuple(sites)
+        self.unresolved = tuple(unresolved)
+
+
 class PredictionError(RemosError):
     """RPS model fitting or prediction failed."""
 

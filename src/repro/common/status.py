@@ -1,0 +1,77 @@
+"""Query status vocabulary shared across the collector stack.
+
+Every answer the Remos API returns carries a :class:`QueryStatus` so
+applications can tell a fresh, complete answer from a degraded one —
+the explicit per-query quality reporting that service-oriented
+measurement systems (SONoMA, NWS) expose and the paper's robustness
+discussion (§6.2) implies.  Collectors additionally report per-site
+detail through :class:`SiteStatus` records, which the Master merges and
+the Modeler forwards unchanged.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class QueryStatus(enum.Enum):
+    """Quality of one answer, from best to worst.
+
+    * ``OK`` — complete and fresh.
+    * ``STALE`` — complete, but some data came from a last-known-good
+      cache or an overdue monitor.
+    * ``PARTIAL`` — some requested scope is missing (a site down, hosts
+      unresolved); what is present is trustworthy.
+    * ``FAILED`` — nothing useful could be answered.
+    """
+
+    OK = "ok"
+    STALE = "stale"
+    PARTIAL = "partial"
+    FAILED = "failed"
+
+    def __str__(self) -> str:  # compact rendering for CLI / logs
+        return self.value
+
+
+#: severity order used when combining fragment statuses
+_RANK = {
+    QueryStatus.OK: 0,
+    QueryStatus.STALE: 1,
+    QueryStatus.PARTIAL: 2,
+    QueryStatus.FAILED: 3,
+}
+
+
+@dataclass
+class SiteStatus:
+    """How one site's fragment of an answer was obtained."""
+
+    site: str
+    status: QueryStatus
+    #: human-readable reason when degraded ("agent timeout", …)
+    detail: str = ""
+    #: age of the served data in simulated seconds (0 = fresh)
+    data_age_s: float = 0.0
+    #: delegation attempts spent on this fragment (retries + 1)
+    attempts: int = 1
+
+
+def combine(statuses) -> QueryStatus:
+    """Aggregate fragment statuses into one answer-level status.
+
+    All fragments failed → FAILED; any fragment failed or partial →
+    PARTIAL (the answer covers only part of the requested scope); any
+    stale fragment → STALE; otherwise OK.  An empty sequence is OK —
+    no fragment had anything to complain about.
+    """
+    statuses = list(statuses)
+    if not statuses:
+        return QueryStatus.OK
+    if all(s == QueryStatus.FAILED for s in statuses):
+        return QueryStatus.FAILED
+    worst = max(statuses, key=_RANK.__getitem__)
+    if worst in (QueryStatus.FAILED, QueryStatus.PARTIAL):
+        return QueryStatus.PARTIAL
+    return worst

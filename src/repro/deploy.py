@@ -76,6 +76,12 @@ class RemosDeployment:
     #: wireless collectors, for deployments with basestations
     wireless_collectors: dict[str, "object"] = field(default_factory=dict)
 
+    def session(self) -> "RemosSession":
+        """The documented application entry point (see repro.session)."""
+        from repro.session import RemosSession
+
+        return RemosSession(self.modeler)
+
     def start_monitoring(self) -> None:
         """Begin periodic polling in every SNMP collector."""
         log.debug("starting monitoring in %d collectors", len(self.snmp_collectors))

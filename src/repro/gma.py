@@ -179,8 +179,11 @@ class ModelerProducer(Producer):
     """The Modeler as a producer of end-to-end flow predictions."""
 
     def __init__(self, modeler) -> None:
+        from repro.session import RemosSession
+
         super().__init__("gma:modeler", modeler.net)
         self.modeler = modeler
+        self.session = RemosSession(modeler)
 
     def event_types(self) -> tuple[str, ...]:
         return (EVENT_FLOW,)
@@ -191,7 +194,9 @@ class ModelerProducer(Producer):
         src, dst = params.get("src"), params.get("dst")
         if src is None or dst is None:
             raise QueryError("flow query needs src and dst")
-        answer = self.modeler.flow_query(
+        # non-strict: a degraded answer flows to subscribers (status and
+        # all) instead of blowing up the periodic delivery timer
+        answer = self.session.flow_info(
             src, dst, predict=bool(params.get("predict", False))
         )
         return self._emit(EVENT_FLOW, answer)

@@ -3,12 +3,19 @@
 "The Remos API, which is exposed to applications, is implemented only
 in the Modeler" (paper §2).  Applications ask two kinds of questions:
 
-* :meth:`Modeler.topology_query` — the virtual topology spanning a set
-  of hosts, simplified (pruned, chains collapsed to virtual switches)
-  unless raw output is requested.
-* :meth:`Modeler.flow_query` — the bandwidth a new flow (or a set of
-  flows, e.g. a collective application's communication pattern) can
-  expect, from max-min calculations on the collector topology.
+* topology — the virtual topology spanning a set of hosts, simplified
+  (pruned, chains collapsed to virtual switches) unless raw output is
+  requested.
+* flow information — the bandwidth a new flow (or a set of flows,
+  e.g. a collective application's communication pattern) can expect,
+  from max-min calculations on the collector topology.
+
+The documented entry point is :class:`repro.session.RemosSession`,
+whose answers always carry a :class:`~repro.common.status.QueryStatus`
+and degrade instead of raising when part of the network stops
+answering.  The historical ``Modeler.topology_query`` /
+``flow_query`` / ``node_query`` methods remain as deprecated shims
+with their original strict (raising) semantics.
 
 The Modeler talks only to its Master Collector, and acts as the
 intermediary to the prediction service: with ``predict=True`` a flow
@@ -19,13 +26,20 @@ bandwidth instead of the last measurement (§2.3, §3.3).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from typing import Protocol
 
 import numpy as np
 
 from repro import obs
-from repro.common.errors import QueryError
+from repro.common.errors import (
+    PartialResultError,
+    QueryError,
+    RemosError,
+    TopologyError,
+)
+from repro.common.status import QueryStatus, SiteStatus
 from repro.netsim.address import IPv4Address
 from repro.netsim.topology import Host, Network
 from repro.collectors.base import Collector, RpcCostModel, TopologyRequest
@@ -44,8 +58,32 @@ class PredictionService(Protocol):
         ...
 
 
+class Answer:
+    """Common surface of every Remos answer.
+
+    Concrete answers are dataclasses that append ``status``,
+    ``data_age_s``, and ``provenance`` fields; this (non-dataclass)
+    base only contributes the convenience predicates, so subclasses
+    keep full control of their field order.
+    """
+
+    status: QueryStatus
+    data_age_s: float
+    provenance: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Complete and fresh."""
+        return self.status == QueryStatus.OK
+
+    @property
+    def degraded(self) -> bool:
+        """Anything less than complete and fresh (stale/partial/failed)."""
+        return self.status != QueryStatus.OK
+
+
 @dataclass
-class FlowAnswer:
+class FlowAnswer(Answer):
     """What a flow query returns to the application."""
 
     src: str
@@ -64,10 +102,17 @@ class FlowAnswer:
     predicted_bps: float | None = None
     #: forecast error variance (None unless predict=True)
     predicted_var: float | None = None
+    #: answer quality: FAILED when the pair is uncovered, otherwise the
+    #: quality of the topology the answer was computed from
+    status: QueryStatus = QueryStatus.OK
+    #: age of the underlying dynamics, in simulated seconds
+    data_age_s: float = 0.0
+    #: sites whose collectors contributed to the answer
+    provenance: tuple[str, ...] = ()
 
 
 @dataclass
-class NodeAnswer:
+class NodeAnswer(Answer):
     """What a node (compute-resource) query returns.
 
     The Remos API covers compute nodes as well as the network (the
@@ -82,6 +127,23 @@ class NodeAnswer:
     #: streaming predictor runs on the host)
     predicted_load: float | None = None
     predicted_var: float | None = None
+    status: QueryStatus = QueryStatus.OK
+    data_age_s: float = 0.0
+    provenance: tuple[str, ...] = ()
+
+
+@dataclass
+class TopologyAnswer(Answer):
+    """What a topology query returns through :class:`RemosSession`."""
+
+    graph: TopologyGraph
+    #: requested hosts that could not be covered
+    unresolved: tuple[str, ...] = ()
+    #: per-site quality breakdown from the Master
+    site_status: dict[str, SiteStatus] = field(default_factory=dict)
+    status: QueryStatus = QueryStatus.OK
+    data_age_s: float = 0.0
+    provenance: tuple[str, ...] = ()
 
 
 def _ip_of(host) -> str:
@@ -92,13 +154,34 @@ def _ip_of(host) -> str:
 
 
 @dataclass
+class _FetchMeta:
+    """Quality bookkeeping for one Master fetch, threaded into answers."""
+
+    status: QueryStatus
+    data_age_s: float
+    provenance: tuple[str, ...]
+    unresolved: tuple[str, ...]
+    site_status: dict[str, SiteStatus]
+
+
+@dataclass
 class _CachedFetch:
     """One memoized Master response: the graph, its structural version
-    at insert time, and the sim time it was fetched."""
+    at insert time, the sim time it was fetched, and the fetch meta so
+    cache hits replay exactly what the miss returned.
+
+    Only ``status == OK`` responses are ever cached: memoizing a
+    degraded response would replay the outage for a full TTL after the
+    collectors recover (and, worse, a FAILED fragment's empty graph
+    would shadow good data).  A degraded response additionally *drops*
+    any existing entry for its key — the entry describes a world the
+    Master can no longer confirm.
+    """
 
     graph: TopologyGraph
     version: int
     fetched_at: float
+    meta: _FetchMeta
 
 
 class Modeler:
@@ -142,6 +225,29 @@ class Modeler:
         include_dynamics: bool = True,
         detail: str | None = None,
     ) -> TopologyGraph:
+        """Deprecated: use :meth:`repro.session.RemosSession.topology`.
+
+        Original strict behaviour: returns the bare graph and raises
+        :class:`QueryError` when any requested host is uncovered.
+        """
+        warnings.warn(
+            "Modeler.topology_query is deprecated; use RemosSession.topology",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if detail is None:
+            detail = "simplified" if simplified else "raw"
+        return self._topology_answer(
+            hosts, detail, include_dynamics, strict=True
+        ).graph
+
+    def _topology_answer(
+        self,
+        hosts,
+        detail: str,
+        include_dynamics: bool,
+        strict: bool,
+    ) -> TopologyAnswer:
         """The virtual topology spanning ``hosts``.
 
         ``detail`` selects how much structure the application sees —
@@ -154,19 +260,24 @@ class Modeler:
         * ``"summary"`` — only the queried hosts, pairwise logical edges
           carrying each pair's bottleneck availability/latency/jitter.
         """
-        if detail is None:
-            detail = "simplified" if simplified else "raw"
         if detail not in ("raw", "simplified", "summary"):
             raise QueryError(f"unknown detail level {detail!r}")
         with obs.span("modeler.topology_query", detail=detail):
             obs.counter("modeler.queries", kind="topology").inc()
             ips = [_ip_of(h) for h in hosts]
-            graph = self._fetch(ips, include_dynamics)
-            if detail == "raw":
-                return graph
+            graph, meta = self._fetch(ips, include_dynamics, strict=strict)
             if detail == "simplified":
-                return simplify(graph, protect=set(ips))
-            return self._summarize(graph, ips)
+                graph = simplify(graph, protect=set(ips))
+            elif detail == "summary":
+                graph = self._summarize(graph, ips)
+            return TopologyAnswer(
+                graph,
+                unresolved=tuple(meta.unresolved),
+                site_status=meta.site_status,
+                status=meta.status,
+                data_age_s=meta.data_age_s,
+                provenance=meta.provenance,
+            )
 
     @staticmethod
     def _summarize(graph: TopologyGraph, ips: list[str]) -> TopologyGraph:
@@ -214,8 +325,19 @@ class Modeler:
         predict: bool = False,
         horizon_steps: int = 1,
     ) -> FlowAnswer:
-        """Expected bandwidth for one new flow src -> dst."""
-        return self.flow_queries([(src, dst)], predict, horizon_steps)[0]
+        """Deprecated: use :meth:`repro.session.RemosSession.flow_info`.
+
+        Original strict behaviour: raises :class:`QueryError` when the
+        pair is uncovered or unroutable.
+        """
+        warnings.warn(
+            "Modeler.flow_query is deprecated; use RemosSession.flow_info",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._flow_answers(
+            [(src, dst)], predict, horizon_steps, None, strict=True
+        )[0]
 
     def flow_queries(
         self,
@@ -223,6 +345,22 @@ class Modeler:
         predict: bool = False,
         horizon_steps: int = 1,
         own_flows=None,
+    ) -> list[FlowAnswer]:
+        """Deprecated: use :meth:`repro.session.RemosSession.flow_info_many`."""
+        warnings.warn(
+            "Modeler.flow_queries is deprecated; use RemosSession.flow_info_many",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._flow_answers(pairs, predict, horizon_steps, own_flows, strict=True)
+
+    def _flow_answers(
+        self,
+        pairs,
+        predict: bool,
+        horizon_steps: int,
+        own_flows,
+        strict: bool,
     ) -> list[FlowAnswer]:
         """Expected bandwidth for a set of simultaneous new flows.
 
@@ -238,6 +376,10 @@ class Modeler:
         (the self-interference trap).  Declared rates are credited back
         to the edges along each declared flow's path before the max-min
         calculation.
+
+        Strict mode raises on any unroutable pair (the historical
+        API); non-strict mode answers what it can, marking unroutable
+        pairs FAILED with zeroed bandwidths and an empty path.
         """
         with obs.span("modeler.flow_query"):
             obs.counter("modeler.queries", kind="flow").inc()
@@ -249,15 +391,43 @@ class Modeler:
                 {ip for pair in ip_pairs for ip in pair}
                 | {ip for s, d, _ in own for ip in (s, d)}
             )
-            graph = self._fetch(involved, include_dynamics=True)
+            graph, meta = self._fetch(involved, include_dynamics=True, strict=strict)
             if own:
                 self._credit_own_flows(graph, own)
-            preds = predict_flows(graph, ip_pairs)
-            answers = [self._to_answer(p) for p in preds]
+            if strict:
+                answerable = ip_pairs
+                failed: dict[int, FlowAnswer] = {}
+            else:
+                # Split the request: pairs without a route through what
+                # the collectors could deliver degrade to FAILED answers
+                # instead of poisoning the whole (joint) query.
+                answerable, failed = [], {}
+                for idx, (s, d) in enumerate(ip_pairs):
+                    try:
+                        if graph.has_node(s) and graph.has_node(d):
+                            graph.path(s, d)
+                            answerable.append((s, d))
+                            continue
+                    except TopologyError:
+                        pass
+                    failed[idx] = FlowAnswer(
+                        s, d, 0.0, 0.0, 0.0, 0.0, 0.0, (),
+                        status=QueryStatus.FAILED,
+                        data_age_s=meta.data_age_s,
+                        provenance=meta.provenance,
+                    )
+            preds = predict_flows(graph, answerable)
+            good = [self._to_answer(p, meta) for p in preds]
             if predict:
-                for ans in answers:
+                for ans in good:
                     self._attach_prediction(graph, ans, horizon_steps)
-            return answers
+            if not failed:
+                return good
+            it = iter(good)
+            return [
+                failed[idx] if idx in failed else next(it)
+                for idx in range(len(ip_pairs))
+            ]
 
     @staticmethod
     def _credit_own_flows(graph: TopologyGraph, own) -> None:
@@ -282,34 +452,48 @@ class Modeler:
     def node_query(
         self, hosts, predict: bool = False, horizon_steps: int = 1
     ) -> list[NodeAnswer]:
+        """Deprecated: use :meth:`repro.session.RemosSession.node_info`."""
+        warnings.warn(
+            "Modeler.node_query is deprecated; use RemosSession.node_info",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._node_answers(hosts, predict, horizon_steps)
+
+    def _node_answers(
+        self, hosts, predict: bool, horizon_steps: int
+    ) -> list[NodeAnswer]:
         """Current (and optionally forecast) load of compute nodes."""
         if self.node_info_provider is None:
             raise QueryError("no node information provider configured")
         with obs.span("modeler.node_query"):
             obs.counter("modeler.queries", kind="node").inc()
-            return self._node_query(hosts, predict, horizon_steps)
-
-    def _node_query(
-        self, hosts, predict: bool, horizon_steps: int
-    ) -> list[NodeAnswer]:
-        answers: list[NodeAnswer] = []
-        for h in hosts:
-            ip = _ip_of(h)
-            self.net.engine.advance(self.rpc.local_s)
-            load, predictor = self.node_info_provider(ip)
-            ans = NodeAnswer(ip, load)
-            if predict and predictor is not None:
-                fc = predictor.forecast()
-                k = min(horizon_steps, fc.values.size)
-                if k >= 1:
-                    ans.predicted_load = float(fc.values[k - 1])
-                    ans.predicted_var = float(fc.variances[k - 1])
-            answers.append(ans)
-        return answers
+            answers: list[NodeAnswer] = []
+            for h in hosts:
+                ip = _ip_of(h)
+                self.net.engine.advance(self.rpc.local_s)
+                load, predictor = self.node_info_provider(ip)
+                ans = NodeAnswer(ip, load)
+                if load is None:
+                    # no sensor covers this host; the answer says so
+                    # rather than raising (historical behaviour)
+                    ans.status = QueryStatus.FAILED
+                else:
+                    ans.provenance = ("host-sensor",)
+                if predict and predictor is not None:
+                    fc = predictor.forecast()
+                    k = min(horizon_steps, fc.values.size)
+                    if k >= 1:
+                        ans.predicted_load = float(fc.values[k - 1])
+                        ans.predicted_var = float(fc.variances[k - 1])
+                answers.append(ans)
+            return answers
 
     # -- internals ----------------------------------------------------------
 
-    def _fetch(self, ips: list[str], include_dynamics: bool) -> TopologyGraph:
+    def _fetch(
+        self, ips: list[str], include_dynamics: bool, strict: bool = True
+    ) -> tuple[TopologyGraph, _FetchMeta]:
         self.queries_made += 1
         caching = self.query_cache_ttl_s > 0
         key = (tuple(sorted(ips)), include_dynamics)
@@ -324,31 +508,72 @@ class Modeler:
                 self.net.engine.advance(self.rpc.local_s)
                 # a copy, because flow queries credit own traffic by
                 # mutating edges in place
-                return entry.graph.copy()
+                return entry.graph.copy(), entry.meta
             obs.counter("modeler.query_cache", result="miss").inc()
         self.net.engine.advance(self.rpc.local_s)
-        resp = self.master.topology(
-            TopologyRequest(tuple(ips), include_dynamics=include_dynamics)
-        )
-        missing = [ip for ip in ips if ip in resp.unresolved]
-        if missing:
-            raise QueryError(f"hosts not covered by any collector: {missing}")
-        if caching:
-            self._query_cache[key] = _CachedFetch(
-                resp.graph, resp.graph.version, self.net.now
+        try:
+            resp = self.master.topology(
+                TopologyRequest(tuple(ips), include_dynamics=include_dynamics)
             )
-            return resp.graph.copy()
-        return resp.graph
+        except RemosError:
+            # the Master itself is unreachable — nothing to serve
+            self._query_cache.pop(key, None)
+            if strict:
+                raise
+            meta = _FetchMeta(QueryStatus.FAILED, 0.0, (), tuple(ips), {})
+            return TopologyGraph(), meta
+        provenance = tuple(sorted(resp.site_status)) or (
+            getattr(self.master, "name", "master"),
+        )
+        meta = _FetchMeta(
+            status=resp.status,
+            data_age_s=resp.data_age_s,
+            provenance=provenance,
+            unresolved=tuple(resp.unresolved),
+            site_status=resp.site_status,
+        )
+        if meta.status == QueryStatus.PARTIAL:
+            obs.counter("query.partial").inc()
+        missing = [ip for ip in ips if ip in resp.unresolved]
+        if missing and strict:
+            # don't let a degraded response linger in the cache
+            self._query_cache.pop(key, None)
+            raise PartialResultError(
+                f"hosts not covered by any collector: {missing}",
+                sites=tuple(
+                    s
+                    for s, st in resp.site_status.items()
+                    if st.status == QueryStatus.FAILED
+                ),
+                unresolved=tuple(missing),
+            )
+        if caching:
+            if meta.status == QueryStatus.OK:
+                self._query_cache[key] = _CachedFetch(
+                    resp.graph, resp.graph.version, self.net.now, meta
+                )
+                return resp.graph.copy(), meta
+            # degraded response: never memoize it, and drop whatever the
+            # cache held — it describes a world the collectors can no
+            # longer confirm and would otherwise replay after recovery
+            self._query_cache.pop(key, None)
+        return resp.graph, meta
 
     def invalidate_query_cache(self) -> None:
         """Drop memoized responses (e.g. after a known topology change)."""
         self._query_cache.clear()
 
     @staticmethod
-    def _to_answer(p: FlowPrediction) -> FlowAnswer:
+    def _to_answer(p: FlowPrediction, meta: _FetchMeta) -> FlowAnswer:
+        # A pair answered from a PARTIAL topology is itself suspect —
+        # traffic from the missing sites is invisible to the max-min
+        # model — so the fetch status carries through to the answer.
         return FlowAnswer(
             p.src, p.dst, p.rate_bps, p.bottleneck_bps, p.capacity_bps,
             p.latency_s, p.jitter_s, p.path,
+            status=meta.status,
+            data_age_s=meta.data_age_s,
+            provenance=meta.provenance,
         )
 
     def _attach_prediction(

@@ -220,6 +220,22 @@ class Engine:
             raise ValueError("cannot advance backwards")
         self._now += dt
 
+    def cap_since(self, t0: float, cap_s: float) -> bool:
+        """Clamp time consumed since ``t0`` to at most ``cap_s``.
+
+        Models a deadline on a blocking call: the caller stops waiting
+        at ``t0 + cap_s`` even if the callee would have kept burning
+        time.  Returns True when the clamp fired (the call overran its
+        deadline).  Only valid for plain ``advance`` consumers — the
+        same restriction as :class:`OverlapScope` tasks.
+        """
+        if cap_s < 0:
+            raise ValueError("cap must be >= 0")
+        if self._now - t0 <= cap_s:
+            return False
+        self._now = t0 + cap_s
+        return True
+
     @contextmanager
     def overlap(self, width: int = 0) -> Iterator[OverlapScope]:
         """Charge a group of blocking calls as if run concurrently.

@@ -344,6 +344,10 @@ class Network:
         self._mac_to_iface: dict[MacAddress, Interface] = {}
         self._ip_to_iface: dict[IPv4Address, Interface] = {}
         self._frozen = False
+        #: installed FaultInjector, or None (see repro.faults); kept on
+        #: the network so the SNMP client and benchmark collectors can
+        #: consult it without new plumbing through every constructor
+        self.faults = None
         from repro.netsim.flows import FlowManager  # deferred: circular import
 
         self.flows: FlowManager = FlowManager(self)

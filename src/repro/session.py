@@ -1,0 +1,102 @@
+"""RemosSession: the documented application entry point to Remos.
+
+The paper's API gives applications three questions — flow information,
+topology, and node (compute-resource) information.  This facade asks
+them through a :class:`~repro.modeler.api.Modeler` and always answers
+with the status-carrying ``Answer`` family: every result reports a
+:class:`~repro.common.status.QueryStatus`, the age of the data behind
+it, and which sites contributed (provenance).
+
+Unlike the deprecated ``Modeler.flow_query`` / ``topology_query`` /
+``node_query`` methods, a session never raises just because part of
+the network stopped answering: failed pairs come back as ``FAILED``
+answers with zeroed bandwidths, partially-covered topologies come back
+``PARTIAL`` with the reachable fragments merged, and last-known-good
+data is served ``STALE``.  Exceptions are reserved for caller mistakes
+(bad detail level, no provider configured) and for a completely
+unreachable Master.
+
+    session = deployment.session()
+    ans = session.flow_info("10.1.0.1", "10.2.0.7")
+    if ans.ok:
+        plan_transfer(ans.available_bps)
+    elif ans.degraded:
+        log.warning("degraded answer: %s (age %.1fs)", ans.status, ans.data_age_s)
+"""
+
+from __future__ import annotations
+
+from repro.modeler.api import (
+    FlowAnswer,
+    Modeler,
+    NodeAnswer,
+    TopologyAnswer,
+)
+
+__all__ = ["RemosSession"]
+
+
+class RemosSession:
+    """One application's Remos handle, wrapping a Modeler."""
+
+    def __init__(self, modeler: Modeler) -> None:
+        self.modeler = modeler
+
+    # -- flows ---------------------------------------------------------
+
+    def flow_info(
+        self, src, dst, predict: bool = False, horizon_steps: int = 1
+    ) -> FlowAnswer:
+        """Expected bandwidth for one new flow src -> dst."""
+        return self.modeler._flow_answers(
+            [(src, dst)], predict, horizon_steps, None, strict=False
+        )[0]
+
+    def flow_info_many(
+        self,
+        pairs,
+        predict: bool = False,
+        horizon_steps: int = 1,
+        own_flows=None,
+    ) -> list[FlowAnswer]:
+        """Expected bandwidth for simultaneous new flows (joint max-min).
+
+        ``own_flows`` declares the application's existing traffic as
+        ``(src, dst, rate_bps)`` triples so it is not mistaken for
+        competing load (see Modeler docs).
+        """
+        return self.modeler._flow_answers(
+            pairs, predict, horizon_steps, own_flows, strict=False
+        )
+
+    # -- topology ------------------------------------------------------
+
+    def topology(
+        self, hosts, detail: str = "simplified", include_dynamics: bool = True
+    ) -> TopologyAnswer:
+        """The virtual topology spanning ``hosts``.
+
+        ``detail`` is ``"raw"``, ``"simplified"``, or ``"summary"``;
+        hosts no collector could cover are listed in
+        ``answer.unresolved`` and reflected in ``answer.status``.
+        """
+        return self.modeler._topology_answer(
+            hosts, detail, include_dynamics, strict=False
+        )
+
+    # -- nodes ---------------------------------------------------------
+
+    def node_info(
+        self, hosts, predict: bool = False, horizon_steps: int = 1
+    ) -> list[NodeAnswer]:
+        """Current (and optionally forecast) load of compute nodes."""
+        return self.modeler._node_answers(hosts, predict, horizon_steps)
+
+    # -- plumbing ------------------------------------------------------
+
+    def invalidate_cache(self) -> None:
+        """Drop the Modeler's memoized Master responses."""
+        self.modeler.invalidate_query_cache()
+
+    def __repr__(self) -> str:
+        return f"RemosSession({self.modeler!r})"

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro import obs
 from repro.common.errors import AgentUnreachableError, NoSuchObjectError
 from repro.netsim.address import IPv4Address
+from repro.snmp import oid as O
 from repro.snmp.agent import SnmpWorld
 from repro.snmp.oid import Oid
 
@@ -34,6 +35,12 @@ class SnmpCostModel:
     dead agent costs ``timeout_s`` (one retry is implied in the figure).
     The defaults approximate a busy campus LAN and reproduce the
     paper's cold-cache query times within an order of magnitude.
+
+    ``retries`` > 0 arms a deadline/retry policy: a timed-out request
+    is retried up to that many times with exponential backoff
+    (``backoff_base_s * backoff_mult**k`` before attempt k+1), every
+    wait charged on the simulation clock.  The default 0 preserves the
+    historical fail-fast behaviour exactly.
     """
 
     rtt_s: float = 0.002
@@ -41,6 +48,10 @@ class SnmpCostModel:
     timeout_s: float = 2.0
     #: varbinds requested per GetBulk PDU (bulk-walk batch size)
     bulk_max_repetitions: int = 32
+    #: retry budget after a timeout (0 = fail on the first timeout)
+    retries: int = 0
+    backoff_base_s: float = 0.5
+    backoff_mult: float = 2.0
 
 
 class SnmpClient:
@@ -61,15 +72,23 @@ class SnmpClient:
         self.pdu_count = 0
         #: timeouts observed
         self.timeout_count = 0
+        #: retries spent after timeouts
+        self.retry_count = 0
 
     # -- internals -------------------------------------------------------
 
-    def _charge(self, n_varbinds: int, op: str) -> None:
+    def _injector(self):
+        return getattr(self.world.net, "faults", None)
+
+    def _charge(self, n_varbinds: int, op: str, ip=None) -> None:
         self.pdu_count += 1
         obs.counter("snmp.client.pdus", op=op).inc()
-        self.world.net.engine.advance(
-            self.cost.rtt_s + n_varbinds * self.cost.per_varbind_s
-        )
+        dt = self.cost.rtt_s + n_varbinds * self.cost.per_varbind_s
+        if ip is not None:
+            inj = self._injector()
+            if inj is not None:
+                dt += inj.pdu_delay_s(ip)
+        self.world.net.engine.advance(dt)
 
     def _timeout(self, op: str) -> None:
         self.pdu_count += 1
@@ -78,11 +97,16 @@ class SnmpClient:
         obs.counter("snmp.client.timeouts").inc()
         self.world.net.engine.advance(self.cost.timeout_s)
 
-    def _agent(self, ip: IPv4Address | str, op: str):
+    def _attempt(self, ip: IPv4Address | str, op: str):
+        """One request attempt: the agent, or an unreachable timeout."""
         agent = self.world.agent_at(ip)
         if agent is None:
             self._timeout(op)
             raise AgentUnreachableError(f"no agent at {ip} (timeout)")
+        inj = self._injector()
+        if inj is not None and inj.drop_pdu(ip):
+            self._timeout(op)
+            raise AgentUnreachableError(f"{ip}: request dropped (timeout)")
         try:
             agent.authorize(self.source_ip, self.community)
         except AgentUnreachableError:
@@ -90,24 +114,57 @@ class SnmpClient:
             raise
         return agent
 
+    def _agent(self, ip: IPv4Address | str, op: str):
+        """The agent behind ``ip``, retrying timeouts per the cost model.
+
+        Each retry waits an exponentially growing backoff on the sim
+        clock before re-sending.  Authorization refusals are explicit
+        answers, not timeouts, so they never retry.
+        """
+        backoff = self.cost.backoff_base_s
+        for attempt in range(self.cost.retries + 1):
+            if attempt > 0:
+                self.retry_count += 1
+                obs.counter("snmp.retries", op=op).inc()
+                self.world.net.engine.advance(backoff)
+                backoff *= self.cost.backoff_mult
+            try:
+                return self._attempt(ip, op)
+            except AgentUnreachableError:
+                if attempt == self.cost.retries:
+                    raise
+        raise AgentUnreachableError(f"no agent at {ip} (timeout)")
+
+    def _counter_value(self, ip, oid: Oid, value: object) -> object:
+        """Pass octet-counter readings through the fault injector."""
+        inj = self._injector()
+        if inj is None:
+            return value
+        if not (oid.starts_with(O.IF_IN_OCTETS) or oid.starts_with(O.IF_OUT_OCTETS)):
+            return value
+        return inj.counter_read(ip, oid, float(value))
+
     # -- operations ---------------------------------------------------------
 
     def get(self, ip: IPv4Address | str, oid: Oid | str) -> object:
         """GET a single object."""
         agent = self._agent(ip, "get")
-        self._charge(1, "get")
-        return agent.get(Oid(oid))
+        self._charge(1, "get", ip)
+        oid = Oid(oid)
+        return self._counter_value(ip, oid, agent.get(oid))
 
     def get_many(self, ip: IPv4Address | str, oids: list[Oid]) -> list[object]:
         """GET several objects in one PDU (missing OIDs raise)."""
         agent = self._agent(ip, "get")
-        self._charge(len(oids), "get")
-        return [agent.get(Oid(o)) for o in oids]
+        self._charge(len(oids), "get", ip)
+        return [
+            self._counter_value(ip, Oid(o), agent.get(Oid(o))) for o in oids
+        ]
 
     def get_next(self, ip: IPv4Address | str, oid: Oid | str) -> tuple[Oid, object]:
         """GETNEXT: the lexicographically next object."""
         agent = self._agent(ip, "getnext")
-        self._charge(1, "getnext")
+        self._charge(1, "getnext", ip)
         return agent.get_next(Oid(oid))
 
     def walk(self, ip: IPv4Address | str, prefix: Oid | str) -> list[tuple[Oid, object]]:
@@ -117,7 +174,7 @@ class SnmpClient:
         results: list[tuple[Oid, object]] = []
         current = prefix
         while True:
-            self._charge(1, "getnext")
+            self._charge(1, "getnext", ip)
             try:
                 nxt, value = agent.get_next(current)
             except NoSuchObjectError:
@@ -140,7 +197,7 @@ class SnmpClient:
         agent = self._agent(ip, "getbulk")
         chunk = agent.get_bulk(Oid(oid), n)
         # a PDU goes out (and the agent answers) even when empty
-        self._charge(max(1, len(chunk)), "getbulk")
+        self._charge(max(1, len(chunk)), "getbulk", ip)
         obs.counter("snmp.bulk_varbinds").inc(len(chunk))
         return chunk
 

@@ -1,0 +1,267 @@
+"""Chaos: fault injection, survival machinery, and graceful degradation.
+
+The three contracts of repro.faults (see its module docstring):
+
+* **zero-overhead default** — a plan that injects nothing leaves every
+  answer and the simulation clock byte-identical to a run without the
+  module;
+* **graceful degradation** — under injected faults multi-site queries
+  come back PARTIAL/STALE with the healthy sites' numbers unchanged and
+  zero unhandled exceptions;
+* **determinism** — same seed, same fault sequence, same answers.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import faults, obs
+from repro.common.errors import AgentUnreachableError
+from repro.common.status import QueryStatus
+from repro.common.units import MBPS
+from repro.deploy import deploy_wan
+from repro.netsim.builders import SiteSpec, build_multisite_wan, build_switched_lan
+from repro.snmp import oid as O
+from repro.snmp.agent import instrument_network
+from repro.snmp.client import SnmpClient, SnmpCostModel
+
+
+def _wan(n_sites: int = 2):
+    w = build_multisite_wan(
+        [
+            SiteSpec(name, access_bps=10 * MBPS, n_hosts=3)
+            for name in ("a", "b", "c")[:n_sites]
+        ]
+    )
+    return w, deploy_wan(w)
+
+
+def _cross_pairs(w, n_sites: int = 2):
+    sites = ("a", "b", "c")[:n_sites]
+    return [
+        (w.host(sites[i % n_sites], i), w.host(sites[(i + 1) % n_sites], i))
+        for i in range(3)
+    ]
+
+
+class TestZeroOverheadDefault:
+    def test_benign_plan_changes_nothing(self):
+        """Installing a plan with every probability at zero must leave
+        answers AND the simulated clock byte-identical."""
+
+        def run(with_plan: bool):
+            w, dep = _wan()
+            if with_plan:
+                inj = faults.install(dep, faults.FaultPlan())
+                assert not inj.plan.injects_anything
+            s = dep.session()
+            answers = s.flow_info_many(_cross_pairs(w))
+            topo = s.topology([w.host("a", 0), w.host("b", 0)])
+            return (
+                [dataclasses.asdict(a) for a in answers],
+                topo.status,
+                sorted(n.id for n in topo.graph.nodes()),
+                w.net.now,
+            )
+
+        assert run(False) == run(True)
+
+    def test_uninstall_restores_fail_fast(self):
+        w, dep = _wan()
+        faults.install(dep, faults.FaultPlan())
+        faults.uninstall(dep)
+        assert dep.net.faults is None
+        assert dep.master.rpc.fragment_timeout_s == 0.0
+        assert all(c.cost.retries == 0 for c in faults._clients(dep))
+
+
+class TestRetryBackoff:
+    def test_charged_on_sim_clock_and_bounded(self):
+        """A 100% drop storm: the client retries exactly `retries`
+        times, charges each timeout and exponential backoff to the
+        simulation clock, then gives up with the original error."""
+        lan = build_switched_lan(4, fanout=4)
+        world = instrument_network(lan.net)
+        net = lan.net
+        net.faults = faults.FaultInjector(faults.FaultPlan(snmp_drop_prob=1.0))
+        ip = str(lan.router.interfaces[0].ip)  # a device with an agent
+        cost = SnmpCostModel(retries=2, backoff_base_s=0.25, backoff_mult=2.0)
+        client = SnmpClient(world, ip, cost=cost)
+        t0 = net.now
+        with obs.scoped_registry() as reg:
+            with pytest.raises(AgentUnreachableError):
+                client.get(ip, [O.SYS_DESCR])
+            snap = obs.export.snapshot(reg)
+        # 3 attempts x timeout, plus backoffs 0.25 and 0.5 between them
+        assert net.now - t0 == pytest.approx(3 * cost.timeout_s + 0.25 + 0.5)
+        assert client.retry_count == 2
+        assert snap["counters"]["snmp.retries{op=get}"] == 2
+        assert snap["counters"]["faults.injected{kind=snmp_drop}"] == 3
+
+    def test_retries_absorb_a_30_percent_storm(self):
+        """With the default retry budget a 30% drop rate is fully
+        absorbed: every answer OK, bandwidths identical to fault-free."""
+        w0, dep0 = _wan()
+        baseline = dep0.session().flow_info_many(_cross_pairs(w0))
+
+        w, dep = _wan()
+        faults.install(dep, faults.FaultPlan(seed=1, snmp_drop_prob=0.3))
+        with obs.scoped_registry() as reg:
+            answers = dep.session().flow_info_many(_cross_pairs(w))
+            snap = obs.export.snapshot(reg)
+        assert sum(
+            v for k, v in snap["counters"].items() if k.startswith("snmp.retries")
+        ) > 0
+        assert snap["counters"]["faults.injected{kind=snmp_drop}"] > 0
+        for got, want in zip(answers, baseline):
+            assert got.status == QueryStatus.OK
+            assert got.available_bps == pytest.approx(want.available_bps)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_same_seed_same_world(self, seed):
+        def run():
+            w, dep = _wan()
+            inj = faults.install(
+                dep, faults.FaultPlan(seed=seed, snmp_drop_prob=0.3)
+            )
+            answers = dep.session().flow_info_many(_cross_pairs(w))
+            return (
+                [dataclasses.asdict(a) for a in answers],
+                inj.injected,
+                w.net.now,
+            )
+
+        assert run() == run()
+
+
+class TestPartialResults:
+    def test_dead_site_degrades_to_partial(self):
+        """A site whose collector is down before any query ever reached
+        it (no last-known-good): pairs through it FAIL with 0 bps,
+        cross-healthy pairs keep their fault-free bandwidth but are
+        flagged PARTIAL, and query.partial counts every degraded fetch."""
+        w0, dep0 = _wan(3)
+        base = dep0.session().flow_info(w0.host("a", 1), w0.host("c", 0))
+
+        w, dep = _wan(3)
+        faults.install(dep, faults.FaultPlan())
+        faults.crash_collector(dep.snmp_collectors["b"], 60.0)
+        s = dep.session()
+        pairs = [
+            (w.host("a", 0), w.host("b", 0)),  # through the dead site
+            (w.host("a", 1), w.host("c", 0)),  # healthy
+        ]
+        with obs.scoped_registry() as reg:
+            dead, healthy = s.flow_info_many(pairs)
+            topo = s.topology([w.host(x, 0) for x in "abc"])
+            snap = obs.export.snapshot(reg)
+
+        assert dead.status == QueryStatus.FAILED
+        assert dead.available_bps == 0.0 and dead.path == ()
+        assert healthy.status == QueryStatus.PARTIAL
+        assert healthy.available_bps == pytest.approx(base.available_bps)
+
+        assert topo.status == QueryStatus.PARTIAL
+        assert topo.site_status["b"].status == QueryStatus.FAILED
+        assert topo.site_status["a"].status == QueryStatus.OK
+        assert str(w.host("b", 0).ip) in topo.unresolved
+        assert snap["counters"]["query.partial"] == 2
+        # second failed delegation hit the quarantine fast path
+        assert snap["counters"]["collectors.master.quarantine_skips"] >= 1
+
+    def test_crash_after_warmup_serves_stale_lkg(self):
+        """Once a site has answered, a crash downgrades to STALE: the
+        Master serves the last-known-good fragment with its data age."""
+        w, dep = _wan()
+        faults.install(dep, faults.FaultPlan())
+        s = dep.session()
+        hosts = [w.host("a", 0), w.host("b", 0)]
+        warm = s.topology(hosts)
+        assert warm.status == QueryStatus.OK
+
+        faults.crash_collector(dep.snmp_collectors["b"], 40.0)
+        with obs.scoped_registry() as reg:
+            stale = s.topology(hosts)
+            flow = s.flow_info(*hosts)
+            snap = obs.export.snapshot(reg)
+        assert stale.status == QueryStatus.STALE
+        assert stale.site_status["b"].status == QueryStatus.STALE
+        assert stale.site_status["b"].data_age_s > 0
+        assert flow.status == QueryStatus.STALE
+        assert flow.available_bps > 0  # answered from the cached fragment
+        assert snap["counters"]["collectors.master.lkg_served"] >= 1
+
+        # restart + quarantine expiry: fully healthy again
+        w.net.engine.run_until(w.net.now + 80.0)
+        assert s.topology(hosts).status == QueryStatus.OK
+
+    def test_degraded_responses_never_poison_the_query_cache(self):
+        """The bugfix pinned: with the TTL cache on, a PARTIAL response
+        must not be memoized, so recovery is visible immediately
+        instead of replaying the outage for a full TTL."""
+        w, dep = _wan()
+        dep.modeler.query_cache_ttl_s = 300.0
+        faults.install(dep, faults.FaultPlan())
+        faults.crash_collector(dep.snmp_collectors["b"], 30.0)
+        s = dep.session()
+        hosts = [w.host("a", 0), w.host("b", 0)]
+        with obs.scoped_registry() as reg:
+            assert s.topology(hosts).status == QueryStatus.PARTIAL
+            w.net.engine.run_until(w.net.now + 60.0)  # collector restarts
+            assert s.topology(hosts).status == QueryStatus.OK
+            assert s.topology(hosts).status == QueryStatus.OK
+            snap = obs.export.snapshot(reg)
+        # the PARTIAL fetch was not cached (miss, miss), the OK one was (hit)
+        assert snap["counters"]["modeler.query_cache{result=miss}"] == 2
+        assert snap["counters"]["modeler.query_cache{result=hit}"] == 1
+
+
+class TestCounterPathologies:
+    def test_wrap32_and_resets_do_not_corrupt_rates(self):
+        """32-bit wraps and injected counter resets must never produce
+        negative (or absurdly huge) rate estimates."""
+        lan = build_switched_lan(8, fanout=4)
+        from repro.deploy import deploy_lan
+
+        dep = deploy_lan(lan)
+        faults.install(
+            dep,
+            faults.FaultPlan(seed=5, counter_reset_prob=0.01, counter_wrap32=True),
+        )
+        s = dep.session()
+        s.flow_info(lan.hosts[0], lan.hosts[7])  # warm discovery
+        dep.start_monitoring()
+        lan.net.engine.run_until(lan.net.now + 120.0)
+        coll = dep.snmp_collectors["lan"]
+        for mon in coll.monitors.values():
+            for rate in mon.rates_bps():
+                assert 0.0 <= rate < 1e12
+        ans = s.flow_info(lan.hosts[0], lan.hosts[7])
+        assert ans.available_bps >= 0.0
+
+
+class TestProbeFaults:
+    def test_wan_probe_failures_fall_back_to_history(self):
+        """Failed benchmark probes burn their timeout, count a failure,
+        and measurement() serves the last good result flagged stale."""
+        w, dep = _wan()
+        s = dep.session()
+        s.topology([w.host("a", 0), w.host("b", 0)])  # seeds WAN probing
+        bench = dep.benchmarks["a"]
+        good = bench.probe("b")
+        assert good.throughput_bps > 0
+
+        faults.install(dep, faults.FaultPlan(probe_fail_prob=1.0))
+        # age the cached result past the freshness window, so the query
+        # has to attempt a probe — which now fails
+        w.net.engine.run_until(w.net.now + bench.config.max_age_s + 1.0)
+        with obs.scoped_registry() as reg:
+            t0 = w.net.now
+            meas = bench.measurement("b", allow_probe=True)
+            snap = obs.export.snapshot(reg)
+        assert meas.stale
+        assert meas.throughput_bps == pytest.approx(good.throughput_bps)
+        assert snap["counters"]["collectors.benchmark.probe_failures"] >= 1
+        assert w.net.now - t0 >= dep.net.faults.plan.probe_timeout_s
