@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.common.units import MBPS
 from repro.netsim.builders import SiteSpec, build_multisite_wan
 from repro.netsim.traffic import RandomWalkTraffic
@@ -29,13 +30,20 @@ from repro.apps.video import VideoSpec, choose_and_stream
 from repro.collectors.benchmark_collector import BenchmarkConfig
 from repro.deploy import deploy_wan
 
-from _util import emit, fmt_row
+from _util import emit, emit_json, fmt_row
 
 N_EXPERIMENTS = 21
 OVERLOADED_RUNS = {7, 15}  # two experiments hit an overloaded server
 
 
 def run_fig10(consider_load: bool = False):
+    with obs.scoped_registry() as reg:
+        rows = _run_fig10(consider_load)
+        snap = obs.export.snapshot(reg)
+    return rows, snap
+
+
+def _run_fig10(consider_load: bool):
     world = build_multisite_wan(
         [
             SiteSpec("eth", access_bps=100 * MBPS, n_hosts=4),
@@ -105,7 +113,7 @@ def run_fig10(consider_load: bool = False):
 
 
 def test_fig10_video_frames(benchmark):
-    rows = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    rows, snap = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
 
     widths = [5, 12, 8, 12, 9, 7]
     lines = [
@@ -139,6 +147,20 @@ def test_fig10_video_frames(benchmark):
         f"overload runs; paper: ~90% with 2 overload misses)"
     )
     emit("fig10_video_frames", lines)
+    emit_json(
+        "fig10_video_frames",
+        {
+            "experiments": len(rows),
+            "overload_runs": sorted(OVERLOADED_RUNS),
+            "hit_rate": rate,
+            "normal_hit_rate": normal_rate,
+            "frames": [
+                {"picked": picked, "received": frames, "total": total}
+                for picked, frames, total in rows
+            ],
+            "obs": snap,
+        },
+    )
 
     # --- shape assertions -------------------------------------------------
     assert normal_rate >= 0.75, "bandwidth must predict frame quality"
@@ -162,7 +184,7 @@ def test_fig10_load_aware_extension(benchmark):
     selection ('other parameters … must be taken into account'), the
     two overload misses disappear — the client dodges the swamped
     server and lands on the best healthy one."""
-    rows = benchmark.pedantic(
+    rows, snap = benchmark.pedantic(
         lambda: run_fig10(consider_load=True), rounds=1, iterations=1
     )
     hits = 0
@@ -182,6 +204,15 @@ def test_fig10_load_aware_extension(benchmark):
             f"overload runs hit: {overload_hits}/{len(OVERLOADED_RUNS)} "
             "(bandwidth-only selection missed both)",
         ],
+    )
+    emit_json(
+        "fig10_load_aware",
+        {
+            "experiments": len(rows),
+            "hit_rate": rate,
+            "overload_hits": overload_hits,
+            "obs": snap,
+        },
     )
     assert overload_hits == len(OVERLOADED_RUNS), (
         "load-aware selection must dodge the overloaded servers"

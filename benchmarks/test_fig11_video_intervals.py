@@ -17,18 +17,26 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.common.units import MBPS
 from repro.netsim.builders import SiteSpec, build_multisite_wan
 from repro.apps.video import VideoSession, VideoSpec
 from repro.collectors.benchmark_collector import BenchmarkConfig
 from repro.deploy import deploy_wan
 
-from _util import emit, fmt_row
+from _util import emit, emit_json, fmt_row
 
 REMOTE_BPS = 0.15 * MBPS
 
 
 def run_fig11():
+    with obs.scoped_registry() as reg:
+        reported, local, remote = _run_fig11()
+        snap = obs.export.snapshot(reg)
+    return reported, local, remote, snap
+
+
+def _run_fig11():
     world = build_multisite_wan(
         [
             SiteSpec("eth", access_bps=100 * MBPS, n_hosts=4),
@@ -58,7 +66,9 @@ def run_fig11():
 
 
 def test_fig11_video_intervals(benchmark):
-    reported, local, remote = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    reported, local, remote, snap = benchmark.pedantic(
+        run_fig11, rounds=1, iterations=1
+    )
 
     rows = {}
     for name, res in (("local", local), ("remote", remote)):
@@ -87,6 +97,22 @@ def test_fig11_video_intervals(benchmark):
         " with movie content; the local download is content-limited"
     )
     emit("fig11_video_intervals", lines)
+    emit_json(
+        "fig11_video_intervals",
+        {
+            "reported_mbps": reported / MBPS,
+            "windows": {
+                f"{name}_{w:.0f}s": {
+                    "mean_mbps": float(np.mean(bw)) / MBPS,
+                    "sd_mbps": float(np.std(bw)) / MBPS,
+                }
+                for (name, w), bw in sorted(rows.items())
+            },
+            "local_frames": [local.frames_received, local.total_frames],
+            "remote_frames": [remote.frames_received, remote.total_frames],
+            "obs": snap,
+        },
+    )
 
     # --- shape assertions --------------------------------------------------
     # Remos reported the access-link rate

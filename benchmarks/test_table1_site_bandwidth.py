@@ -22,13 +22,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.common.units import MBPS
 from repro.netsim.builders import SiteSpec, build_multisite_wan
 from repro.netsim.traffic import RandomWalkTraffic
 from repro.collectors.benchmark_collector import BenchmarkConfig
 from repro.deploy import deploy_wan
 
-from _util import emit, fmt_row
+from _util import emit, emit_json, fmt_row
 
 PAPER = {
     "eth-local": (63.1, 5.61),
@@ -43,6 +44,13 @@ SAMPLE_GAP_S = 30.0
 
 
 def run_table1():
+    with obs.scoped_registry() as reg:
+        stats = _run_table1()
+        snap = obs.export.snapshot(reg)
+    return stats, snap
+
+
+def _run_table1():
     world = build_multisite_wan(
         [
             SiteSpec("eth", access_bps=100 * MBPS, n_hosts=5, lan_bps=100 * MBPS),
@@ -114,7 +122,7 @@ def run_table1():
 
 
 def test_table1_site_bandwidth(benchmark):
-    stats = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    stats, snap = benchmark.pedantic(run_table1, rounds=1, iterations=1)
 
     widths = [12, 12, 10, 13, 11]
     lines = [
@@ -131,6 +139,22 @@ def test_table1_site_bandwidth(benchmark):
             )
         )
     emit("table1_site_bandwidth", lines)
+    emit_json(
+        "table1_site_bandwidth",
+        {
+            "samples_per_site": N_SAMPLES,
+            "sites": {
+                site: {
+                    "mean_mbps": mean / MBPS,
+                    "sd_mbps": sd / MBPS,
+                    "paper_mean_mbps": PAPER[site][0],
+                    "paper_sd_mbps": PAPER[site][1],
+                }
+                for site, (mean, sd) in stats.items()
+            },
+            "obs": snap,
+        },
+    )
 
     means = {s: stats[s][0] for s in stats}
     # --- shape assertions -------------------------------------------------

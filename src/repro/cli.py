@@ -208,6 +208,13 @@ def cmd_forecast(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run remoslint (see docs/static-analysis.md)."""
+    from repro.lint.cli import run_from_args
+
+    return run_from_args(args)
+
+
 def cmd_stats(args) -> int:
     """Exercise every layer of a scenario and dump the obs registry."""
     from repro.netsim.agents import attach_trace
@@ -301,6 +308,15 @@ def make_parser() -> argparse.ArgumentParser:
         help="output format (default: both)",
     )
     st.add_argument("--spec", default="AR(16)", help="RPS model spec")
+
+    from repro.lint.cli import configure_parser as configure_lint_parser
+
+    configure_lint_parser(
+        sub.add_parser(
+            "lint",
+            help="run remoslint, the repo's AST-based invariant linter",
+        )
+    )
     return p
 
 
@@ -312,6 +328,7 @@ COMMANDS = {
     "models": cmd_models,
     "forecast": cmd_forecast,
     "stats": cmd_stats,
+    "lint": cmd_lint,
 }
 
 

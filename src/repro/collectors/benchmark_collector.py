@@ -21,7 +21,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro import obs
-from repro.common.errors import CollectorUnavailableError, QueryError
+from repro.common.errors import CollectorUnavailableError, QueryError, TopologyError
 from repro.common.units import BITS_PER_BYTE
 from repro.netsim.address import IPv4Address
 from repro.netsim.topology import Host, Network
@@ -144,8 +144,8 @@ class BenchmarkCollector:
         peer = self._peer(peer_site)
         try:
             path = compute_path(self.net, self.host, peer.host)
-        except Exception:
-            return 0.0
+        except TopologyError:
+            return 0.0  # no route right now: RTT simply unknown
         return 2.0 * path_latency(path)
 
     def _probe_bulk(self, peer_site: str) -> float:

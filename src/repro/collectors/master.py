@@ -22,7 +22,6 @@ revealing that the response was obtained from multiple collectors"
 
 from __future__ import annotations
 
-import time
 from collections import defaultdict
 
 from repro import obs
@@ -153,9 +152,9 @@ class MasterCollector(Collector):
                 # out of the answer, the rest of the query proceeds
                 unresolved.extend(groups[key])
                 continue
-            t0 = time.perf_counter()
+            t0 = obs.wall_now()
             merged.merge(sub.graph)
-            merge_wall_s += time.perf_counter() - t0
+            merge_wall_s += obs.wall_now() - t0
             unresolved.extend(sub.unresolved)
             pdu_cost += sub.pdu_cost
             anchors.update(sub.anchors)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Iterable
 
 
 class QueryStatus(enum.Enum):
@@ -58,7 +59,7 @@ class SiteStatus:
     attempts: int = 1
 
 
-def combine(statuses) -> QueryStatus:
+def combine(statuses: Iterable[QueryStatus]) -> QueryStatus:
     """Aggregate fragment statuses into one answer-level status.
 
     All fragments failed → FAILED; any fragment failed or partial →

@@ -1,0 +1,34 @@
+"""remoslint — AST-based invariant linting for the Remos stack.
+
+The repo's load-bearing contracts (sim-clock determinism, seeded RNG
+discipline, the status-carrying session API) are enforced here rather
+than merely documented.  Each rule has a stable ``RMLxxx`` code, a
+rationale, and — where cheap — autofix metadata; grandfathered
+violations live in a committed baseline file so the gate only fails on
+*new* debt.
+
+Usage::
+
+    repro lint                      # or: python -m repro.lint
+    repro lint --format json src/
+    repro lint --write-baseline     # regenerate lint-baseline.json
+    repro lint --check-baseline     # CI gate: new violations OR stale
+                                    # baseline entries fail the build
+
+See ``docs/static-analysis.md`` for the rule catalogue.
+"""
+
+from __future__ import annotations
+
+from repro.lint.core import FileContext, Fix, Rule, Violation
+from repro.lint.engine import LintReport, lint_paths, lint_source
+
+__all__ = [
+    "FileContext",
+    "Fix",
+    "Rule",
+    "Violation",
+    "LintReport",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,112 @@
+"""Baseline file: grandfathered violations the gate tolerates.
+
+The baseline is a committed JSON document.  Entries are matched by
+*fingerprint* — ``(code, path, stripped source line)`` — not by line
+number, so pure line moves don't churn the file.  Matching is multiset
+semantics: two identical offending lines need two entries.
+
+Each entry may carry a human ``note`` explaining why the violation is
+grandfathered rather than fixed; ``--write-baseline`` preserves notes
+of entries that survive regeneration.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.core import Violation
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class BaselineEntry:
+    code: str
+    path: str
+    text: str
+    note: str = ""
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        return (self.code, self.path, self.text)
+
+
+@dataclass
+class Baseline:
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.is_file():
+            return cls()
+        data = json.loads(path.read_text())
+        entries = [
+            BaselineEntry(
+                code=e["code"],
+                path=e["path"],
+                text=e["text"],
+                note=e.get("note", ""),
+            )
+            for e in data.get("entries", [])
+        ]
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": FORMAT_VERSION,
+            "entries": [
+                {
+                    "code": e.code,
+                    "path": e.path,
+                    "text": e.text,
+                    **({"note": e.note} if e.note else {}),
+                }
+                for e in sorted(self.entries, key=lambda e: (e.code, e.path, e.text))
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    def partition(
+        self, violations: list[Violation]
+    ) -> tuple[list[Violation], list[Violation], list[BaselineEntry]]:
+        """Split violations into (new, baselined); also report stale entries.
+
+        A baseline entry is *stale* when no current violation matches it
+        — the debt was paid down and the entry should be removed so the
+        file never protects future regressions at that fingerprint.
+        """
+        budget = Counter(e.fingerprint() for e in self.entries)
+        fresh: list[Violation] = []
+        grandfathered: list[Violation] = []
+        for v in violations:
+            fp = v.fingerprint()
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                grandfathered.append(v)
+            else:
+                fresh.append(v)
+        stale = [e for e in self.entries if budget.get(e.fingerprint(), 0) > 0]
+        # consume multiplicity so N stale copies report N entries
+        for e in stale:
+            budget[e.fingerprint()] -= 1
+        return fresh, grandfathered, stale
+
+    @classmethod
+    def from_violations(
+        cls, violations: list[Violation], previous: "Baseline | None" = None
+    ) -> "Baseline":
+        """Regenerate, carrying notes over from a previous baseline."""
+        notes: dict[tuple[str, str, str], list[str]] = {}
+        if previous is not None:
+            for e in previous.entries:
+                notes.setdefault(e.fingerprint(), []).append(e.note)
+        entries = []
+        for v in violations:
+            fp = v.fingerprint()
+            note = notes[fp].pop(0) if notes.get(fp) else ""
+            entries.append(
+                BaselineEntry(code=v.code, path=v.path, text=v.line_text, note=note)
+            )
+        return cls(entries)

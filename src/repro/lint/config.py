@@ -1,0 +1,141 @@
+"""remoslint configuration, read from ``[tool.remoslint]`` in pyproject.
+
+Recognised keys::
+
+    [tool.remoslint]
+    paths = ["src"]                    # what `repro lint` walks by default
+    select = ["RML001", ...]           # enable only these (default: all)
+    ignore = ["RML006"]                # disable these
+    exclude = ["src/repro/_vendor"]    # path prefixes skipped entirely
+    baseline = "lint-baseline.json"    # grandfathered-violation file
+
+    [tool.remoslint.per-rule.RML004]
+    exclude = ["src/repro/cli.py"]     # rule-specific exemptions
+
+``tomllib`` ships with Python 3.11+; on 3.10 a minimal parser that
+understands exactly the subset above takes over, so the linter has no
+third-party dependencies anywhere.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+try:  # Python 3.11+
+    import tomllib
+except ImportError:  # pragma: no cover - exercised only on 3.10
+    tomllib = None  # type: ignore[assignment]
+
+
+@dataclass
+class LintConfig:
+    paths: list[str] = field(default_factory=lambda: ["src"])
+    select: list[str] = field(default_factory=list)  # empty = all rules
+    ignore: list[str] = field(default_factory=list)
+    exclude: list[str] = field(default_factory=list)
+    baseline: str = "lint-baseline.json"
+    #: rule code -> {"exclude": [path prefixes]}
+    per_rule: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: directory paths are resolved against; repo root in normal runs
+    root: Path = field(default_factory=Path.cwd)
+
+    def rule_excludes(self, code: str) -> list[str]:
+        return list(self.per_rule.get(code, {}).get("exclude", []))
+
+
+def load_config(root: Path | None = None) -> LintConfig:
+    """Read ``[tool.remoslint]`` from ``<root>/pyproject.toml``."""
+    root = Path(root) if root is not None else Path.cwd()
+    cfg = LintConfig(root=root)
+    pyproject = root / "pyproject.toml"
+    if not pyproject.is_file():
+        return cfg
+    data = _load_toml(pyproject)
+    section = data.get("tool", {}).get("remoslint", {})
+    if not isinstance(section, dict):
+        return cfg
+    for key in ("paths", "select", "ignore", "exclude"):
+        value = section.get(key)
+        if isinstance(value, list):
+            setattr(cfg, key, [str(v) for v in value])
+    if isinstance(section.get("baseline"), str):
+        cfg.baseline = section["baseline"]
+    per_rule = section.get("per-rule", {})
+    if isinstance(per_rule, dict):
+        cfg.per_rule = {
+            str(code): dict(opts)
+            for code, opts in per_rule.items()
+            if isinstance(opts, dict)
+        }
+    return cfg
+
+
+def _load_toml(path: Path) -> dict[str, Any]:
+    if tomllib is not None:
+        with path.open("rb") as fh:
+            return tomllib.load(fh)
+    return _parse_minimal_toml(path.read_text())
+
+
+_SECTION_RE = re.compile(r"^\[([A-Za-z0-9_.\-\"]+)\]\s*$")
+_KEY_RE = re.compile(r"^([A-Za-z0-9_\-]+)\s*=\s*(.+)$")
+
+
+def _parse_minimal_toml(text: str) -> dict[str, Any]:
+    """Just enough TOML for the config subset documented above.
+
+    Handles ``[dotted.section.headers]``, string values, booleans,
+    integers, and single-line arrays of strings.  Anything else is
+    silently skipped — this is a fallback for stdlibs without
+    ``tomllib``, not a general parser.
+    """
+    root: dict[str, Any] = {}
+    table = root
+    buffered = ""
+    for raw in text.splitlines():
+        line = raw.strip()
+        if buffered:
+            line = buffered + " " + line
+            buffered = ""
+        if not line or line.startswith("#"):
+            continue
+        m = _SECTION_RE.match(line)
+        if m:
+            table = root
+            for part in m.group(1).replace('"', "").split("."):
+                table = table.setdefault(part, {})
+            continue
+        m = _KEY_RE.match(line)
+        if not m:
+            continue
+        key, value = m.group(1), m.group(2).strip()
+        if value.startswith("[") and not value.rstrip().endswith("]"):
+            buffered = line  # array continued on the next line
+            continue
+        parsed = _parse_value(value)
+        if parsed is not _SKIP:
+            table[key] = parsed
+    return root
+
+
+_SKIP = object()
+
+
+def _parse_value(value: str) -> Any:
+    value = value.split("#", 1)[0].strip() if not value.startswith(('"', "'", "[")) else value
+    if value in ("true", "false"):
+        return value == "true"
+    if re.fullmatch(r"-?\d+", value):
+        return int(value)
+    if len(value) >= 2 and value[0] in "\"'" and value.rstrip()[-1] == value[0]:
+        return value.rstrip()[1:-1]
+    if value.startswith("["):
+        inner = value.rstrip()
+        if not inner.endswith("]"):
+            return _SKIP
+        items = re.findall(r"\"([^\"]*)\"|'([^']*)'", inner[1:-1])
+        return [a or b for a, b in items]
+    return _SKIP

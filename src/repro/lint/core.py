@@ -1,0 +1,202 @@
+"""Core vocabulary of the linter: violations, fixes, rules, file context.
+
+A :class:`Rule` is a plugin: it declares a stable code (``RML001``…),
+the path prefixes it patrols, and a ``check`` that yields
+:class:`Violation` records from one file's AST.  Rules never read the
+filesystem themselves — the engine hands them a parsed
+:class:`FileContext` — so unit tests can lint inline source snippets.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import ClassVar, Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Fix:
+    """A cheap, single-line textual autofix.
+
+    ``old`` must occur verbatim on ``line``; ``--fix`` replaces its
+    first occurrence with ``new``.  Rules only attach a fix when the
+    rewrite is unambiguous and behaviour-preserving enough to apply
+    blindly.
+    """
+
+    line: int
+    old: str
+    new: str
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at one source location."""
+
+    code: str
+    path: str  # repo-relative posix path ("" when linting a snippet)
+    line: int  # 1-based
+    col: int  # 0-based
+    message: str
+    #: the stripped source line, used for the line-number-independent
+    #: baseline fingerprint
+    line_text: str = ""
+    fix: Fix | None = None
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Identity for baseline matching: survives pure line moves."""
+        return (self.code, self.path, self.line_text)
+
+    def render(self) -> str:
+        loc = f"{self.path or '<source>'}:{self.line}:{self.col + 1}"
+        return f"{loc}: {self.code} {self.message}"
+
+
+class FileContext:
+    """Everything a rule may look at for one file."""
+
+    def __init__(self, source: str, path: str = "", tree: ast.Module | None = None) -> None:
+        self.source = source
+        self.path = path  # repo-relative posix
+        self.tree = tree if tree is not None else ast.parse(source)
+        self.lines = source.splitlines()
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def violation(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+        fix: Fix | None = None,
+    ) -> Violation:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Violation(
+            code=rule.code,
+            path=self.path,
+            line=line,
+            col=col,
+            message=message,
+            line_text=self.line_text(line),
+            fix=fix,
+        )
+
+
+class Rule:
+    """Base class every remoslint rule extends.
+
+    Class attributes are the plugin contract:
+
+    * ``code`` — stable ``RMLxxx`` identifier (pragma / baseline key).
+    * ``name`` — short kebab-case label for listings.
+    * ``rationale`` — one-line why, shown by ``--list-rules``.
+    * ``scope`` — repo-relative path prefixes the rule patrols; empty
+      means every linted file.
+    * ``exempt`` — path prefixes always excluded (typically the module
+      that *defines* the thing the rule bans elsewhere).
+    * ``autofixable`` — whether any of the rule's violations may carry
+      a :class:`Fix`.
+    """
+
+    code: ClassVar[str] = "RML000"
+    name: ClassVar[str] = "abstract-rule"
+    rationale: ClassVar[str] = ""
+    scope: ClassVar[tuple[str, ...]] = ()
+    exempt: ClassVar[tuple[str, ...]] = ()
+    autofixable: ClassVar[bool] = False
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule patrols ``path`` (repo-relative posix)."""
+        if any(_prefix_match(path, ex) for ex in self.exempt):
+            return False
+        if not self.scope:
+            return True
+        return any(_prefix_match(path, sc) for sc in self.scope)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.code}>"
+
+
+def _prefix_match(path: str, prefix: str) -> bool:
+    """True when ``path`` is ``prefix`` itself or lives under it."""
+    if not path:
+        return False
+    return path == prefix or path.startswith(prefix.rstrip("/") + "/")
+
+
+# -- attribute-chain helpers shared by several rules ---------------------
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class ImportMap:
+    """Which local names refer to which modules / module attributes."""
+
+    #: local alias -> module path ("t" -> "time" for ``import time as t``)
+    modules: dict[str, str] = field(default_factory=dict)
+    #: local name -> "module.attr" ("sleep" -> "time.sleep")
+    members: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, tree: ast.Module) -> "ImportMap":
+        out = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    out.modules[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    out.members[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+        return out
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Canonical dotted path for a Name/Attribute, through aliases.
+
+        ``t.sleep`` -> "time.sleep" (after ``import time as t``);
+        ``sleep`` -> "time.sleep" (after ``from time import sleep``).
+        Only names reached through an actual import resolve — a local
+        variable that happens to be called ``random`` yields None, so
+        rules keyed on module paths don't false-positive on it.
+        """
+        dn = dotted_name(node)
+        if dn is None:
+            return None
+        head, _, rest = dn.partition(".")
+        if head in self.members:
+            base = self.members[head]
+            return f"{base}.{rest}" if rest else base
+        if head in self.modules:
+            base = self.modules[head]
+            return f"{base}.{rest}" if rest else base
+        return None
+
+
+def iter_violations(rules: Iterable[Rule], ctx: FileContext) -> Iterator[Violation]:
+    for rule in rules:
+        if ctx.path and not rule.applies_to(ctx.path):
+            continue
+        yield from rule.check(ctx)
+
+
+def with_path(v: Violation, path: str) -> Violation:
+    return replace(v, path=path)

@@ -1,0 +1,207 @@
+"""The lint engine: walk files, run rules, apply pragmas and baseline.
+
+Suppression layers, in order:
+
+1. inline pragmas — ``# remoslint: disable=RML001[,RML002]`` on the
+   offending line, or ``# remoslint: disable-file=RML001`` anywhere in
+   the file for a whole-file opt-out;
+2. per-rule path excludes from ``[tool.remoslint.per-rule.*]``;
+3. the committed baseline (grandfathered debt, matched by fingerprint).
+
+What survives all three is a *new* violation and fails the gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.config import LintConfig
+from repro.lint.core import FileContext, Rule, Violation
+
+_PRAGMA = re.compile(r"#\s*remoslint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9, ]+)")
+
+
+@dataclass
+class PragmaSet:
+    """Suppressions parsed from one file's comments."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    whole_file: set[str] = field(default_factory=set)
+
+    @classmethod
+    def of(cls, source: str) -> "PragmaSet":
+        out = cls()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            m = _PRAGMA.search(line)
+            if not m:
+                continue
+            codes = {c.strip().upper() for c in m.group(2).split(",") if c.strip()}
+            if m.group(1) == "disable-file":
+                out.whole_file |= codes
+            else:
+                out.by_line.setdefault(lineno, set()).update(codes)
+        return out
+
+    def suppresses(self, v: Violation) -> bool:
+        if v.code in self.whole_file or "ALL" in self.whole_file:
+            return True
+        codes = self.by_line.get(v.line, ())
+        return v.code in codes or "ALL" in codes
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    #: violations not covered by pragma or baseline — these fail the gate
+    violations: list[Violation] = field(default_factory=list)
+    #: violations matched (and tolerated) by the baseline
+    baselined: list[Violation] = field(default_factory=list)
+    #: baseline entries that no longer match anything (paid-down debt)
+    stale_entries: list[BaselineEntry] = field(default_factory=list)
+    #: path -> error string for files that would not parse
+    errors: dict[str, str] = field(default_factory=dict)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.errors
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "violations": [
+                {
+                    "code": v.code,
+                    "path": v.path,
+                    "line": v.line,
+                    "col": v.col + 1,
+                    "message": v.message,
+                    "autofixable": v.fix is not None,
+                }
+                for v in self.violations
+            ],
+            "baselined": len(self.baselined),
+            "stale_baseline_entries": [
+                {"code": e.code, "path": e.path, "text": e.text}
+                for e in self.stale_entries
+            ],
+            "errors": dict(self.errors),
+        }
+
+
+def lint_source(
+    source: str, rules: list[Rule], path: str = ""
+) -> list[Violation]:
+    """Lint one in-memory snippet (the unit-test entry point).
+
+    ``path`` scopes path-sensitive rules; pragmas apply, the baseline
+    does not.
+    """
+    ctx = FileContext(source, path=path)
+    pragmas = PragmaSet.of(source)
+    out = []
+    for rule in rules:
+        if path and not rule.applies_to(path):
+            continue
+        for v in rule.check(ctx):
+            if not pragmas.suppresses(v):
+                out.append(v)
+    out.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return out
+
+
+def iter_python_files(paths: list[Path], exclude: list[str], root: Path) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        if p.is_file() and p.suffix == ".py":
+            files.append(p)
+        elif p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+    def rel(f: Path) -> str:
+        try:
+            return f.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            return f.as_posix()
+    return [
+        f
+        for f in files
+        if not any(
+            rel(f) == ex or rel(f).startswith(ex.rstrip("/") + "/")
+            for ex in exclude
+        )
+    ]
+
+
+def lint_paths(
+    paths: list[Path],
+    rules: list[Rule],
+    config: LintConfig,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    report = LintReport()
+    root = config.root
+    all_violations: list[Violation] = []
+    for file in iter_python_files(paths, config.exclude, root):
+        try:
+            rel_path = file.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel_path = file.as_posix()
+        source = file.read_text()
+        try:
+            ctx = FileContext(source, path=rel_path)
+        except SyntaxError as exc:
+            report.errors[rel_path] = f"syntax error: {exc}"
+            continue
+        report.files_checked += 1
+        pragmas = PragmaSet.of(source)
+        for rule in rules:
+            if not rule.applies_to(rel_path):
+                continue
+            if any(
+                rel_path == ex or rel_path.startswith(ex.rstrip("/") + "/")
+                for ex in config.rule_excludes(rule.code)
+            ):
+                continue
+            for v in rule.check(ctx):
+                if not pragmas.suppresses(v):
+                    all_violations.append(v)
+    all_violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    if baseline is None:
+        report.violations = all_violations
+    else:
+        fresh, grandfathered, stale = baseline.partition(all_violations)
+        report.violations = fresh
+        report.baselined = grandfathered
+        report.stale_entries = stale
+    return report
+
+
+def apply_fixes(violations: list[Violation], root: Path) -> int:
+    """Apply attached autofixes; returns the number of edits made.
+
+    Edits are grouped per file and applied bottom-up so earlier edits
+    never shift later line numbers.
+    """
+    by_file: dict[str, list[Violation]] = {}
+    for v in violations:
+        if v.fix is not None and v.path:
+            by_file.setdefault(v.path, []).append(v)
+    applied = 0
+    for rel_path, vs in by_file.items():
+        file = root / rel_path
+        lines = file.read_text().splitlines(keepends=True)
+        for v in sorted(vs, key=lambda v: -v.fix.line):  # type: ignore[union-attr]
+            fix = v.fix
+            assert fix is not None
+            idx = fix.line - 1
+            if 0 <= idx < len(lines) and fix.old in lines[idx]:
+                lines[idx] = lines[idx].replace(fix.old, fix.new, 1)
+                applied += 1
+        file.write_text("".join(lines))
+    return applied

@@ -1,0 +1,40 @@
+"""Rule registry: every shipped remoslint rule, by code."""
+
+from __future__ import annotations
+
+from repro.lint.core import Rule
+from repro.lint.rules.rml001_sim_clock import SimClockPurityRule
+from repro.lint.rules.rml002_rng import SeededRngRule
+from repro.lint.rules.rml003_deprecated_api import DeprecatedApiRule
+from repro.lint.rules.rml004_status import StatusDisciplineRule
+from repro.lint.rules.rml005_excepts import BlindExceptRule
+from repro.lint.rules.rml006_oid_literals import OidLiteralRule
+from repro.lint.rules.rml007_metric_names import MetricNameRule
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    SimClockPurityRule,
+    SeededRngRule,
+    DeprecatedApiRule,
+    StatusDisciplineRule,
+    BlindExceptRule,
+    OidLiteralRule,
+    MetricNameRule,
+)
+
+
+def make_rules(
+    select: list[str] | None = None, ignore: list[str] | None = None
+) -> list[Rule]:
+    """Instantiate the configured subset of rules, in code order."""
+    rules = [cls() for cls in ALL_RULES]
+    if select:
+        wanted = {c.upper() for c in select}
+        rules = [r for r in rules if r.code in wanted]
+    if ignore:
+        dropped = {c.upper() for c in ignore}
+        rules = [r for r in rules if r.code not in dropped]
+    return rules
+
+
+def rule_catalogue() -> dict[str, Rule]:
+    return {cls.code: cls() for cls in ALL_RULES}

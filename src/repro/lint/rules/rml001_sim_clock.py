@@ -1,0 +1,72 @@
+"""RML001 — sim-clock purity in the simulation-facing layers.
+
+The chaos suite pins seed-for-seed reproducibility on the simulation
+clock: every timestamp that influences behaviour must come from the
+Engine (``net.engine.now``) and every duration measurement from
+``repro.obs.timebase`` (``wall_now``/``cpu_now``), which keeps the
+wall-clock reads centralised, mockable, and out of simulation state.
+One stray ``time.time()`` in a collector silently decouples a run from
+its seed; this rule makes that a build failure instead of a debugging
+session.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import FileContext, ImportMap, Rule, Violation
+
+#: canonical dotted names that read a process clock or block on one
+BANNED = {
+    "time.time": "use the Engine clock (net.engine.now)",
+    "time.time_ns": "use the Engine clock (net.engine.now)",
+    "time.sleep": "use engine.advance()/engine.every() instead of blocking",
+    "time.monotonic": "use obs.timebase.wall_now()",
+    "time.monotonic_ns": "use obs.timebase.wall_now()",
+    "time.perf_counter": "use obs.timebase.wall_now()",
+    "time.perf_counter_ns": "use obs.timebase.wall_now()",
+    "time.process_time": "use obs.timebase.cpu_now()",
+    "time.process_time_ns": "use obs.timebase.cpu_now()",
+    "datetime.datetime.now": "use the Engine clock (net.engine.now)",
+    "datetime.datetime.utcnow": "use the Engine clock (net.engine.now)",
+    "datetime.datetime.today": "use the Engine clock (net.engine.now)",
+    "datetime.date.today": "use the Engine clock (net.engine.now)",
+}
+
+
+class SimClockPurityRule(Rule):
+    code = "RML001"
+    name = "sim-clock-purity"
+    rationale = (
+        "wall-clock reads in sim-facing layers break seed-for-seed "
+        "chaos determinism; use the Engine clock or obs.timebase"
+    )
+    scope = (
+        "src/repro/netsim",
+        "src/repro/snmp",
+        "src/repro/collectors",
+        "src/repro/faults.py",
+        "src/repro/rps",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        imports = ImportMap.of(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    target = f"{node.module}.{alias.name}"
+                    if target in BANNED:
+                        yield ctx.violation(
+                            self,
+                            node,
+                            f"import of {target} in a sim-pure layer; {BANNED[target]}",
+                        )
+            elif isinstance(node, ast.Attribute):
+                resolved = imports.resolve(node)
+                if resolved in BANNED:
+                    yield ctx.violation(
+                        self,
+                        node,
+                        f"{resolved} in a sim-pure layer; {BANNED[resolved]}",
+                    )

@@ -1,0 +1,50 @@
+"""RML003 — deprecated Modeler query-shim usage.
+
+``Modeler.flow_query`` / ``flow_queries`` / ``topology_query`` /
+``node_query`` survive only as ``DeprecationWarning`` shims for
+external callers; internal code must go through the status-carrying
+:class:`repro.session.RemosSession` so degraded answers (STALE /
+PARTIAL) are represented instead of raised.  This rule fails the build
+when internal code regrows a shim call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import FileContext, Rule, Violation
+
+SHIMS = {
+    "flow_query": "RemosSession.flow_info",
+    "flow_queries": "RemosSession.flow_info_many",
+    "topology_query": "RemosSession.topology",
+    "node_query": "RemosSession.node_info",
+}
+
+
+class DeprecatedApiRule(Rule):
+    code = "RML003"
+    name = "deprecated-modeler-shims"
+    rationale = (
+        "internal callers must use the status-carrying RemosSession, "
+        "not the deprecated strict Modeler query shims"
+    )
+    scope = ("src/repro", "examples", "benchmarks")
+    #: the module defining the shims and the facade implementing the
+    #: replacement are the only legitimate mentions
+    exempt = ("src/repro/modeler/api.py", "src/repro/session.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in SHIMS
+            ):
+                yield ctx.violation(
+                    self,
+                    node,
+                    f"deprecated Modeler.{node.func.attr}() shim; "
+                    f"use {SHIMS[node.func.attr]} (status-carrying API)",
+                )

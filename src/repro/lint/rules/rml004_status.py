@@ -1,0 +1,137 @@
+"""RML004 — status discipline at RemosSession call sites.
+
+Every ``Answer`` carries a :class:`~repro.common.status.QueryStatus`;
+a caller that reads ``.available_bps`` without ever looking at
+``.status`` / ``.ok`` / ``.degraded`` silently treats PARTIAL or STALE
+data as fresh truth — exactly the failure mode the session API was
+built to make visible.  The rule flags, per function scope, variables
+bound from session query calls whose data attributes are consumed but
+whose status is never inspected and which never escape the scope
+(returned / yielded / passed on, which moves the obligation to the
+caller).
+
+Heuristic by design: it sees direct ``name = session.flow_info(...)``
+bindings and ``for ans in session.flow_info_many(...)`` loops.  Sites
+with a considered reason to ignore status carry a pragma or a baseline
+entry with a note.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import FileContext, Rule, Violation
+
+#: methods returning one Answer (or a list of them, for the *_many/list
+#: forms) — receiver-agnostic, keyed on the attribute name
+QUERY_METHODS = {"flow_info", "flow_info_many", "topology", "node_info"}
+
+STATUS_ATTRS = {"status", "ok", "degraded", "site_status", "provenance"}
+
+
+class StatusDisciplineRule(Rule):
+    code = "RML004"
+    name = "answer-status-discipline"
+    rationale = (
+        "Answer consumers must inspect .status/.ok/.degraded before "
+        "trusting data fields; dropping it hides PARTIAL/STALE results"
+    )
+    scope = ("src/repro", "examples", "benchmarks")
+    exempt = (
+        # the facade and Modeler construct the answers they return
+        "src/repro/session.py",
+        "src/repro/modeler/api.py",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for scope_node in self._scopes(ctx.tree):
+            yield from self._check_scope(ctx, scope_node)
+
+    def _scopes(self, tree: ast.Module) -> Iterator[ast.AST]:
+        yield tree
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def _body_walk(self, scope: ast.AST) -> Iterator[ast.AST]:
+        """Walk a scope without descending into nested functions."""
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_scope(self, ctx: FileContext, scope: ast.AST) -> Iterator[Violation]:
+        # 1. collect candidate bindings: name -> binding node
+        candidates: dict[str, ast.AST] = {}
+        for node in self._body_walk(scope):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and self._is_query_call(node.value)
+            ):
+                candidates[node.targets[0].id] = node
+            elif (
+                isinstance(node, ast.For)
+                and isinstance(node.target, ast.Name)
+                and self._is_query_call(node.iter)
+            ):
+                candidates[node.target.id] = node
+        if not candidates:
+            return
+
+        # 2. classify every use of each candidate name
+        checked: set[str] = set()
+        escaped: set[str] = set()
+        consumed: set[str] = set()
+        for node in self._body_walk(scope):
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                name = node.value.id
+                if name in candidates:
+                    if node.attr in STATUS_ATTRS:
+                        checked.add(name)
+                    else:
+                        consumed.add(name)
+            elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = node.value
+                for escapee in self._names_in(value):
+                    escaped.add(escapee)
+            elif isinstance(node, ast.Call):
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    if isinstance(arg, ast.Name) and arg.id in candidates:
+                        escaped.add(arg.id)
+
+        for name, binding in sorted(candidates.items(), key=lambda kv: kv[1].lineno):
+            if name in checked or name in escaped:
+                continue
+            if name not in consumed:
+                continue  # never dereferenced here: nothing trusted yet
+            yield ctx.violation(
+                self,
+                binding,
+                f"answer {name!r} is consumed without inspecting "
+                ".status/.ok/.degraded (PARTIAL or STALE data would be "
+                "trusted silently)",
+            )
+
+    def _is_query_call(self, node: ast.AST | None) -> bool:
+        call = node
+        # unwrap `session.node_info(...)[0]` style subscripts
+        if isinstance(call, ast.Subscript):
+            call = call.value
+        return (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr in QUERY_METHODS
+        )
+
+    def _names_in(self, node: ast.AST | None) -> Iterator[str]:
+        if node is None:
+            return
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name):
+                yield sub.id

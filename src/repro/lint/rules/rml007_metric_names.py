@@ -1,0 +1,92 @@
+"""RML007 — metric-name drift.
+
+Dashboards, exporters, and the benchmark BENCH_*.json diffs key on
+metric names; a typo in one ``obs.counter("...")`` call silently forks
+a time series nobody is watching.  Every counter/gauge/histogram name
+used in instrumentation must appear in the central catalogue
+(``repro.obs.catalog.METRIC_NAMES``), which ``docs/observability.md``
+documents.  Adding a metric is a two-line change: instrument the call
+site and register the name.
+
+Dynamic (non-literal) names can't be checked statically and are
+skipped; they should be rare and label-shaped instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import FileContext, ImportMap, Rule, Violation
+
+FACTORIES = {"counter", "gauge", "histogram"}
+
+#: canonical module paths the factories live on
+_OBS_PATHS = ("repro.obs.", "obs.")
+
+
+def _load_catalogue() -> frozenset[str]:
+    from repro.obs.catalog import METRIC_NAMES
+
+    return METRIC_NAMES
+
+
+class MetricNameRule(Rule):
+    code = "RML007"
+    name = "metric-name-drift"
+    rationale = (
+        "obs metric names must be registered in repro.obs.catalog so "
+        "exporter consumers and dashboards never chase a typo"
+    )
+    scope = ("src/repro",)
+    exempt = ("src/repro/obs",)
+
+    def __init__(self, catalogue: frozenset[str] | None = None) -> None:
+        self._catalogue = catalogue
+
+    @property
+    def catalogue(self) -> frozenset[str]:
+        if self._catalogue is None:
+            self._catalogue = _load_catalogue()
+        return self._catalogue
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        imports = ImportMap.of(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            factory = self._factory_name(node.func, imports)
+            if factory is None or not node.args:
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                continue
+            name = first.value
+            if name not in self.catalogue:
+                yield ctx.violation(
+                    self,
+                    first,
+                    f"obs.{factory}({name!r}) is not in the metric "
+                    "catalogue; register it in repro.obs.catalog (and "
+                    "docs/observability.md)",
+                )
+
+    def _factory_name(self, func: ast.AST, imports: ImportMap) -> str | None:
+        """'counter' for obs.counter / repro.obs.counter / reg.counter."""
+        if isinstance(func, ast.Attribute) and func.attr in FACTORIES:
+            resolved = imports.resolve(func)
+            if resolved and any(
+                resolved.startswith(p) or resolved == p + func.attr
+                for p in _OBS_PATHS
+            ):
+                return func.attr
+            # registry-handle form: reg.counter(...) — only when the
+            # receiver is literally a registry-ish name, to avoid
+            # flagging unrelated .counter() methods
+            if isinstance(func.value, ast.Name) and func.value.id in (
+                "obs",
+                "reg",
+                "registry",
+            ):
+                return func.attr
+        return None

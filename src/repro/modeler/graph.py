@@ -14,15 +14,12 @@ concrete data structure the whole architecture communicates with.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import networkx as nx
 
 from repro import obs
 from repro.common.errors import TopologyError
-
-#: sentinel distinguishing "not cached" from a cached negative result
-_PATH_MISS = object()
 
 #: node kinds
 HOST = "host"
@@ -148,21 +145,23 @@ class TopologyGraph:
 
     def node(self, node_id: str) -> TopoNode:
         try:
-            return self._g.nodes[node_id]["data"]
+            data: TopoNode = self._g.nodes[node_id]["data"]
         except KeyError:
             raise TopologyError(f"no node {node_id!r}") from None
+        return data
 
     def has_node(self, node_id: str) -> bool:
         return node_id in self._g
 
     def edge(self, a: str, b: str) -> TopoEdge:
         try:
-            return self._g.edges[a, b]["data"]
+            data: TopoEdge = self._g.edges[a, b]["data"]
         except KeyError:
             raise TopologyError(f"no edge {a!r}--{b!r}") from None
+        return data
 
     def has_edge(self, a: str, b: str) -> bool:
-        return self._g.has_edge(a, b)
+        return bool(self._g.has_edge(a, b))
 
     def nodes(self) -> list[TopoNode]:
         if self._nodes_cache is None:
@@ -181,13 +180,13 @@ class TopologyGraph:
         return sorted(self._g.neighbors(node_id))
 
     def degree(self, node_id: str) -> int:
-        return self._g.degree(node_id)
+        return int(self._g.degree(node_id))
 
     def __len__(self) -> int:
-        return self._g.number_of_nodes()
+        return int(self._g.number_of_nodes())
 
     def num_edges(self) -> int:
-        return self._g.number_of_edges()
+        return int(self._g.number_of_edges())
 
     def remove_node(self, node_id: str) -> None:
         self._touch()
@@ -206,8 +205,8 @@ class TopologyGraph:
             self._paths_cache.clear()
             self._paths_version = self._version
         key = (a, b) if a <= b else (b, a)
-        cached = self._paths_cache.get(key, _PATH_MISS)
-        if cached is not _PATH_MISS:
+        if key in self._paths_cache:
+            cached = self._paths_cache[key]
             obs.counter("modeler.graph.path_cache", result="hit").inc()
             if cached is None:
                 raise TopologyError(f"no path {a!r} -> {b!r}")

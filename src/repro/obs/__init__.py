@@ -38,7 +38,13 @@ from repro.obs.registry import (
     scoped_registry,
     set_registry,
 )
-from repro.obs.timebase import FixedTimebase, SimTimebase, WallTimebase
+from repro.obs.timebase import (
+    FixedTimebase,
+    SimTimebase,
+    WallTimebase,
+    cpu_now,
+    wall_now,
+)
 from repro.obs.tracing import SpanRecord
 
 __all__ = [
@@ -52,6 +58,8 @@ __all__ = [
     "SimTimebase",
     "WallTimebase",
     "counter",
+    "cpu_now",
+    "wall_now",
     "gauge",
     "histogram",
     "span",

@@ -1,0 +1,79 @@
+"""Central catalogue of observability metric names.
+
+Every counter/gauge/histogram name used in instrumentation must be
+registered here — remoslint rule RML007 fails the build otherwise —
+so exporter consumers, dashboards, and the BENCH_*.json diffs never
+chase a typo'd time series.  ``docs/observability.md`` is the prose
+companion; this module is the machine-checked source of truth.
+
+Span names are not listed: spans derive their ``<name>.duration_s``
+histograms inside the obs layer itself, which is exempt from RML007.
+"""
+
+from __future__ import annotations
+
+METRIC_NAMES: frozenset[str] = frozenset(
+    {
+        # -- netsim ----------------------------------------------------
+        "netsim.engine.events",
+        "netsim.engine.queue_depth",
+        "netsim.engine.sim_advance_s",
+        "netsim.engine.sim_time_s",
+        "netsim.maxmin.rounds",
+        # -- snmp ------------------------------------------------------
+        "snmp.agent.dropped",
+        "snmp.agent.requests",
+        "snmp.bulk_varbinds",
+        "snmp.client.bulk_walk_len",
+        "snmp.client.pdus",
+        "snmp.client.timeouts",
+        "snmp.client.walk_len",
+        "snmp.retries",
+        # -- collectors ------------------------------------------------
+        "collectors.benchmark.probe_failures",
+        "collectors.benchmark.probes",
+        "collectors.benchmark.throughput_bps",
+        "collectors.master.fanout",
+        "collectors.master.fragment_retries",
+        "collectors.master.lkg_served",
+        "collectors.master.merge_wall_s",
+        "collectors.master.overlap_saved_s",
+        "collectors.master.quarantine_skips",
+        "collectors.master.query_pdus",
+        "collectors.master.unresolved_ips",
+        "collectors.master.wan_edges",
+        "collectors.snmp.cache_flush",
+        "collectors.snmp.monitored_links",
+        "collectors.snmp.monitors_bootstrapped",
+        "collectors.snmp.path_cache",
+        "collectors.snmp.poll.batch_links",
+        "collectors.snmp.poll.staleness_s",
+        "collectors.snmp.polls",
+        "collectors.snmp.route_cache",
+        "collectors.streaming.predictors",
+        "collectors.streaming.samples_fed",
+        "master.fragment_timeouts",
+        # -- modeler / query path --------------------------------------
+        "modeler.graph.path_cache",
+        "modeler.maxmin.constraints",
+        "modeler.maxmin.flows",
+        "modeler.queries",
+        "modeler.query_cache",
+        "modeler.simplify.edge_reduction",
+        "modeler.simplify.node_reduction",
+        "query.partial",
+        # -- rps -------------------------------------------------------
+        "rps.evaluator.abs_error",
+        "rps.evaluator.observations",
+        "rps.evaluator.refit_flags",
+        "rps.fit.wall_s",
+        "rps.refit.events",
+        "rps.requests",
+        "rps.service.fallbacks",
+        "rps.service.last_resort",
+        "rps.service.requests",
+        "rps.streaming.refits",
+        # -- faults ----------------------------------------------------
+        "faults.injected",
+    }
+)

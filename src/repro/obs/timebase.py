@@ -22,6 +22,28 @@ class Timebase(Protocol):
     def now(self) -> float: ...
 
 
+def wall_now() -> float:
+    """Monotonic wall-clock seconds (``time.perf_counter``).
+
+    The sanctioned wall-clock read for sim-facing layers: remoslint
+    rule RML001 bans direct ``time.*`` clock calls in netsim / snmp /
+    collectors / rps / faults so every wall-clock dependency is
+    greppable here.  Only use it for *duration measurement* (cost
+    accounting, span timing) — anything that influences simulation
+    behaviour must read the Engine clock instead.
+    """
+    return time.perf_counter()
+
+
+def cpu_now() -> float:
+    """Process CPU seconds (``time.process_time``).
+
+    Counterpart of :func:`wall_now` for CPU-cost accounting (the
+    paper's Fig. 6/7 measurements); same RML001 rationale.
+    """
+    return time.process_time()
+
+
 class WallTimebase:
     """Monotonic wall-clock time (``time.perf_counter``)."""
 

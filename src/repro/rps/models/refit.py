@@ -9,7 +9,6 @@ uses this when the error characterization degrades).
 
 from __future__ import annotations
 
-import time
 from collections import deque
 
 import numpy as np
@@ -41,13 +40,13 @@ class FittedRefitting(FittedModel):
 
     def refit(self) -> None:
         """Refit the inner model on the current window now."""
-        t0 = time.perf_counter()
+        t0 = obs.wall_now()
         try:
             self._inner = self._model.fit(np.fromiter(self._buf, dtype=float))
             self.refits += 1
             obs.counter("rps.refit.events", spec=self._model.spec).inc()
             obs.histogram("rps.fit.wall_s", spec=self._model.spec).observe(
-                time.perf_counter() - t0
+                obs.wall_now() - t0
             )
         except ModelFitError:
             pass  # keep the old fit when the window is degenerate

@@ -11,7 +11,6 @@ predictions" (paper §2.3).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -46,10 +45,10 @@ class ClientServerPredictor:
     ) -> PredictionResponse:
         """Fit ``spec`` to ``history`` and forecast ``horizon`` steps."""
         model = parse_model(spec or self.default_spec)
-        t0 = time.perf_counter()
+        t0 = obs.wall_now()
         fitted = model.fit(np.asarray(history, dtype=float))
         obs.histogram("rps.fit.wall_s", spec=model.spec).observe(
-            time.perf_counter() - t0
+            obs.wall_now() - t0
         )
         self.requests_served += 1
         obs.counter("rps.requests", mode="client_server").inc()
@@ -79,10 +78,10 @@ class StreamingPredictor:
         self._refit_window = refit_window
         if len(self._window) < 2:
             raise PredictionError("streaming predictor needs history to fit")
-        t0 = time.perf_counter()
+        t0 = obs.wall_now()
         self.fitted = self.model.fit(np.asarray(self._window))
         obs.histogram("rps.fit.wall_s", spec=self.model.spec).observe(
-            time.perf_counter() - t0
+            obs.wall_now() - t0
         )
         self.evaluator = Evaluator(self.fitted, refit_tolerance=refit_tolerance)
         self.refits = 0
@@ -100,13 +99,13 @@ class StreamingPredictor:
         return self.fitted.forecast(self.horizon)
 
     def _refit(self) -> None:
-        t0 = time.perf_counter()
+        t0 = obs.wall_now()
         try:
             self.fitted = self.model.fit(np.asarray(self._window))
         except ModelFitError:
             return  # degenerate window: keep the old fit
         obs.histogram("rps.fit.wall_s", spec=self.model.spec).observe(
-            time.perf_counter() - t0
+            obs.wall_now() - t0
         )
         obs.counter("rps.streaming.refits", spec=self.model.spec).inc()
         self.evaluator = Evaluator(

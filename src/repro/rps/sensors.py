@@ -18,11 +18,12 @@ charged against the sampling period.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
+from repro.common.status import QueryStatus
 from repro.netsim.topology import Host, Network
 from repro.rps.predictor import StreamingPredictor
 
@@ -67,9 +68,9 @@ class HostLoadSensor:
     def tick(self) -> None:
         """One measurement -> prediction step (callable directly in tests)."""
         value = self.host.load(self.net.now)
-        t0 = time.process_time()
+        t0 = obs.cpu_now()
         fc = self.predictor.observe(value)
-        self.stats.cpu_seconds += time.process_time() - t0
+        self.stats.cpu_seconds += obs.cpu_now() - t0
         self.stats.samples += 1
         self.stats.last_forecast = fc.values
 
@@ -132,9 +133,9 @@ class SnmpHostLoadSensor:
         self.samples.append((self.engine.now, load))
         self.stats.samples += 1
         if self.predictor is not None:
-            t0 = time.process_time()
+            t0 = obs.cpu_now()
             fc = self.predictor.observe(load)
-            self.stats.cpu_seconds += time.process_time() - t0
+            self.stats.cpu_seconds += obs.cpu_now() - t0
             self.stats.last_forecast = fc.values
 
 
@@ -172,13 +173,19 @@ class FlowBandwidthSensor:
             self._timer = None
 
     def tick(self) -> None:
-        ans = self.modeler.flow_query(self.src, self.dst)
+        from repro.session import RemosSession
+
+        ans = RemosSession(self.modeler).flow_info(self.src, self.dst)
+        if ans.status is QueryStatus.FAILED:
+            # the strict path used to raise here; record no sample and
+            # keep the timer alive so sensing resumes with the network
+            return
         self.samples.append((self.modeler.net.now, ans.available_bps))
         self.stats.samples += 1
         if self.predictor is not None:
-            t0 = time.process_time()
+            t0 = obs.cpu_now()
             fc = self.predictor.observe(ans.available_bps)
-            self.stats.cpu_seconds += time.process_time() - t0
+            self.stats.cpu_seconds += obs.cpu_now() - t0
             self.stats.last_forecast = fc.values
 
     def series(self) -> np.ndarray:

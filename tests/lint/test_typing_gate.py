@@ -1,0 +1,85 @@
+"""The strict-typing gate, testable without mypy installed.
+
+CI runs real mypy over the strict allowlist (``[tool.mypy]`` overrides
+in pyproject).  The container running the unit tests may not have mypy,
+so this module enforces the cheap, high-value half of the contract with
+the stdlib ``ast``: every function in the strict modules carries full
+parameter and return annotations (mypy's ``disallow_untyped_defs`` /
+``disallow_incomplete_defs``).  When mypy *is* importable, a final test
+runs it for real.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: must mirror the module= list of the strict [[tool.mypy.overrides]]
+STRICT_FILES = sorted(
+    (REPO_ROOT / "src" / "repro" / "common").rglob("*.py")
+) + [REPO_ROOT / "src" / "repro" / "modeler" / "graph.py"]
+
+STRICT_MODULES = [
+    "repro.common",
+    "repro.common.errors",
+    "repro.common.rng",
+    "repro.common.status",
+    "repro.common.units",
+    "repro.modeler.graph",
+]
+
+
+def iter_untyped_defs(tree: ast.Module, filename: str):
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        where = f"{filename}:{node.lineno} def {node.name}"
+        if node.returns is None:
+            yield f"{where}: missing return annotation"
+        args = node.args
+        positional = args.posonlyargs + args.args
+        for i, a in enumerate(positional + args.kwonlyargs):
+            if i == 0 and a.arg in ("self", "cls"):
+                continue
+            if a.annotation is None:
+                yield f"{where}: parameter {a.arg!r} unannotated"
+        for star in (args.vararg, args.kwarg):
+            if star is not None and star.annotation is None:
+                yield f"{where}: parameter *{star.arg} unannotated"
+
+
+def test_strict_modules_have_complete_annotations():
+    assert STRICT_FILES, "strict allowlist resolved to no files"
+    problems: list[str] = []
+    for f in STRICT_FILES:
+        tree = ast.parse(f.read_text())
+        problems.extend(iter_untyped_defs(tree, f.relative_to(REPO_ROOT).as_posix()))
+    assert problems == [], "\n".join(problems)
+
+
+def test_pyproject_strict_allowlist_matches_this_test():
+    """The [[tool.mypy.overrides]] module list and STRICT_MODULES must
+    not drift apart, or CI and the local gate would check different
+    code."""
+    text = (REPO_ROOT / "pyproject.toml").read_text()
+    for mod in STRICT_MODULES:
+        assert f'"{mod}"' in text, f"{mod} missing from [[tool.mypy.overrides]]"
+
+
+def test_mypy_strict_allowlist_passes():
+    if importlib.util.find_spec("mypy") is None:
+        pytest.skip("mypy not installed in this environment (CI runs it)")
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy"] + [str(f) for f in STRICT_FILES],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

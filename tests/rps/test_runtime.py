@@ -155,6 +155,23 @@ class TestSensors:
         series = sensor.series()
         assert np.all(series == pytest.approx(100 * MBPS, rel=0.05))
 
+    def test_flow_bandwidth_sensor_uses_session_api(self):
+        # the sensor was migrated off the deprecated Modeler.flow_query
+        # shim; its ticks must be DeprecationWarning-free
+        import warnings
+
+        lan = build_switched_lan(4)
+        dep = deploy_lan(lan)
+        sensor = FlowBandwidthSensor(
+            dep.modeler, lan.hosts[0], lan.hosts[3], period_s=10.0
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            sensor.start()
+            lan.net.engine.run_until(lan.net.now + 30.0)
+            sensor.stop()
+        assert sensor.stats.samples >= 2
+
     def test_bad_rate(self):
         lan = build_switched_lan(2)
         sp = StreamingPredictor("LAST", np.arange(10, dtype=float))
