@@ -37,3 +37,24 @@ def emit_json(name: str, payload: dict) -> Path:
 
 def fmt_row(cols, widths) -> str:
     return "  ".join(str(c).rjust(w) for c, w in zip(cols, widths))
+
+
+def trace_breakdown(reg) -> dict:
+    """Trace-derived attribution for a BENCH payload.
+
+    Computed over the registry's *full* span ring (the ``obs`` snapshot
+    truncates to the most recent spans): ``time_by_layer`` (self time
+    per layer), ``time_by_site`` (fragment delegation per site), and
+    retry/timeout tallies — so a BENCH diff shows not just that a run
+    got slower but which layer or site absorbed the time.
+    """
+    from repro.obs import traceview
+
+    spans = [traceview.record_to_dict(s) for s in reg.spans]
+    counters = {
+        (c.name if not c.labels
+         else c.name + "{" + ",".join(f"{k}={v}" for k, v in c.labels) + "}"):
+        c.value
+        for c in reg.counters()
+    }
+    return traceview.breakdown(spans, counters)

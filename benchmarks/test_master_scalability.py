@@ -23,7 +23,7 @@ from repro.collectors.benchmark_collector import BenchmarkConfig
 from repro.deploy import deploy_wan
 from repro.netsim.builders import SiteSpec, build_multisite_wan
 
-from _util import emit, emit_json, fmt_row
+from _util import emit, emit_json, fmt_row, trace_breakdown
 
 SITE_COUNTS = [2, 4, 8, 12, 16]
 
@@ -60,6 +60,7 @@ def test_master_fanout_scalability(benchmark):
     with obs.scoped_registry() as reg:
         results = benchmark.pedantic(run_fanout, rounds=1, iterations=1)
         snap = obs.export.snapshot(reg)
+        breakdown = trace_breakdown(reg)
     widths = [6, 10, 10, 8, 12]
     lines = [
         "all-sites topology query vs site count (one master)",
@@ -88,6 +89,7 @@ def test_master_fanout_scalability(benchmark):
                 }
                 for n in SITE_COUNTS
             },
+            "breakdown": breakdown,
             "obs": snap,
         },
     )

@@ -28,7 +28,7 @@ from repro.deploy import deploy_lan, deploy_wan
 from repro.netsim.builders import SiteSpec, build_multisite_wan, build_switched_lan
 from repro.rps.service import RpsPredictionService
 
-from _util import emit, emit_json
+from _util import emit, emit_json, trace_breakdown
 
 
 @pytest.fixture(scope="module")
@@ -54,6 +54,7 @@ def test_query_rate_plain(warm_lan, benchmark):
     with obs.scoped_registry() as reg:
         ans = benchmark(one_query)
         snap = obs.export.snapshot(reg)
+        breakdown = trace_breakdown(reg)
     hz = 1.0 / benchmark.stats["mean"]
     emit(
         "query_rate_plain",
@@ -69,6 +70,7 @@ def test_query_rate_plain(warm_lan, benchmark):
             "hz_wall": hz,
             "mean_s": benchmark.stats["mean"],
             "available_mbps": ans.available_bps / MBPS,
+            "breakdown": breakdown,
             "obs": snap,
         },
     )
@@ -144,8 +146,9 @@ def test_multisite_warm_query_speedup():
     5 s repoll period.  Acceptance: the warm multi-site query rate
     improves by at least 2x.
     """
+    w, dep, pairs = _build_wan()
     with obs.scoped_registry() as reg:
-        w, dep, pairs = _build_wan()
+        reg.use_sim_clock(w.net.engine)
         # baseline: serial fan-out, no response cache
         dep.master.rpc.max_parallel = 1
         dep.modeler.query_cache_ttl_s = 0.0
@@ -155,6 +158,7 @@ def test_multisite_warm_query_speedup():
         dep.modeler.query_cache_ttl_s = 5.0
         opt_wall, opt_sim = _measure(w, dep, pairs)
         snap = obs.export.snapshot(reg)
+        breakdown = trace_breakdown(reg)
 
     sim_speedup = base_sim / opt_sim
     wall_speedup = base_wall / opt_wall
@@ -178,6 +182,7 @@ def test_multisite_warm_query_speedup():
             "baseline": {"wall_s_per_query": base_wall, "sim_s_per_query": base_sim},
             "optimized": {"wall_s_per_query": opt_wall, "sim_s_per_query": opt_sim},
             "speedup": {"sim": sim_speedup, "wall": wall_speedup},
+            "breakdown": breakdown,
             "obs": snap,
         },
     )
@@ -207,17 +212,19 @@ def test_multisite_query_rate_under_chaos():
         ips = [w.host(f"s{i:02d}", 0).ip for i in range(N_SITES)]
         pairs = [(ips[0], ips[i]) for i in range(1, N_SITES)]
         with obs.scoped_registry() as reg:
+            reg.use_sim_clock(w.net.engine)
             batches = [dep.session().flow_info_many(pairs) for _ in range(3)]
             snap = obs.export.snapshot(reg)
+            breakdown = trace_breakdown(reg)
         return (
             [dataclasses.asdict(a) for batch in batches for a in batch],
             snap["counters"].get("query.partial", 0),
             inj.injected,
             w.net.now,
-        )
+        ), breakdown, snap
 
-    first = run()
-    assert first == run(), "same seed must reproduce the identical run"
+    first, breakdown, snap = run()
+    assert first == run()[0], "same seed must reproduce the identical run"
     answers, partial, injected, _ = first
     assert injected > 0
     assert partial > 0, "degradation must be visible in query.partial"
@@ -230,4 +237,18 @@ def test_multisite_query_rate_under_chaos():
             f"degraded answers: {sum(a['status'] != QueryStatus.OK for a in answers)}"
             f"/{len(answers)}; zero unhandled exceptions",
         ],
+    )
+    emit_json(
+        "query_rate_chaos",
+        {
+            "sites": N_SITES,
+            "faults_injected": injected,
+            "degraded_fetches": partial,
+            "degraded_answers": sum(
+                a["status"] != QueryStatus.OK for a in answers
+            ),
+            "answers": len(answers),
+            "breakdown": breakdown,
+            "obs": snap,
+        },
     )

@@ -208,6 +208,77 @@ def cmd_forecast(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Render a recorded trace: waterfall, attribution, Chrome export.
+
+    Reads any JSON file that carries spans — a flight-recorder dump, an
+    ``obs.export.snapshot`` / ``to_json`` payload, or a ``BENCH_*.json``
+    with an ``obs`` section.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.obs import traceview
+
+    try:
+        data = json.loads(Path(args.file).read_text())
+    except OSError as exc:
+        print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.file} is not JSON: {exc}", file=sys.stderr)
+        return 1
+    try:
+        spans = traceview.normalize_spans(data)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.trace_id is not None:
+        spans = [s for s in spans if s.get("trace_id") == args.trace_id]
+        if not spans:
+            print(f"error: no spans for trace {args.trace_id!r}", file=sys.stderr)
+            return 1
+    if args.chrome is not None:
+        Path(args.chrome).write_text(
+            json.dumps(traceview.to_chrome_trace(spans), indent=2) + "\n"
+        )
+        print(f"wrote {len(spans)} spans to {args.chrome} (chrome://tracing)")
+        return 0
+    if isinstance(data, dict) and data.get("reason"):
+        print(f"# flight-recorder dump: {data['reason']}"
+              + (f" (trace {data.get('trace_id')})" if data.get("trace_id") else ""))
+    for line in traceview.waterfall_lines(spans, trace_id=args.trace_id):
+        print(line)
+    counters = data.get("counters", {}) if isinstance(data, dict) else {}
+    if not counters and isinstance(data, dict):
+        obs_part = data.get("obs")
+        if isinstance(obs_part, dict):
+            counters = obs_part.get("counters", {})
+    print()
+    print("time by layer (self time, registry clock):")
+    for layer, t in traceview.time_by_layer(spans).items():
+        print(f"  {layer:<24} {t * 1e3:10.3f} ms")
+    by_site = traceview.time_by_site(spans)
+    if by_site:
+        print("time by site (fragment delegation):")
+        for site, t in by_site.items():
+            print(f"  {site:<24} {t * 1e3:10.3f} ms")
+    counts = traceview.retry_timeout_counts(counters)
+    if any(counts.values()):
+        print("retries/timeouts:")
+        for name, v in counts.items():
+            if v:
+                print(f"  {name:<32} {v:g}")
+    if args.summary:
+        events = data.get("events") if isinstance(data, dict) else None
+        if events:
+            print(f"log tail ({len(events)} events):")
+            for ev in events[-args.summary_events:]:
+                print(f"  [{ev.get('t_s', 0):10.3f}] {ev.get('level', '?'):<7}"
+                      f" {ev.get('logger', '?')}: {ev.get('message', '')}")
+    return 0
+
+
 def cmd_lint(args) -> int:
     """Run remoslint (see docs/static-analysis.md)."""
     from repro.lint.cli import run_from_args
@@ -309,6 +380,29 @@ def make_parser() -> argparse.ArgumentParser:
     )
     st.add_argument("--spec", default="AR(16)", help="RPS model spec")
 
+    tr = sub.add_parser(
+        "trace",
+        help="render a recorded trace (flight-recorder dump, snapshot, "
+             "or BENCH json): waterfall + latency attribution",
+    )
+    tr.add_argument("file", help="JSON file carrying spans")
+    tr.add_argument(
+        "--trace-id", default=None,
+        help="restrict to one trace (e.g. t0003)",
+    )
+    tr.add_argument(
+        "--chrome", metavar="OUT", default=None,
+        help="write Chrome trace-event JSON to OUT instead of rendering",
+    )
+    tr.add_argument(
+        "--summary", action="store_true",
+        help="also print the dump's log-event tail",
+    )
+    tr.add_argument(
+        "--summary-events", type=int, default=20,
+        help="log events shown with --summary (default: 20)",
+    )
+
     from repro.lint.cli import configure_parser as configure_lint_parser
 
     configure_lint_parser(
@@ -328,6 +422,7 @@ COMMANDS = {
     "models": cmd_models,
     "forecast": cmd_forecast,
     "stats": cmd_stats,
+    "trace": cmd_trace,
     "lint": cmd_lint,
 }
 

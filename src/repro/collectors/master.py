@@ -138,9 +138,15 @@ class MasterCollector(Collector):
                     anchor = str(self.borders[reg.site])
                 group_anchor[key] = anchor
                 with ov.task():
-                    subs[key], site_status[reg.site] = self._delegate(
-                        reg, groups[key], anchor, request
-                    )
+                    # one span per fragment delegation, labelled with
+                    # the site so trace attribution can answer "which
+                    # site consumed the budget"; parentage survives the
+                    # overlap rewind because it is captured by span id,
+                    # not reconstructed from timestamps
+                    with obs.span("collectors.master.delegate", site=reg.site):
+                        subs[key], site_status[reg.site] = self._delegate(
+                            reg, groups[key], anchor, request
+                        )
         obs.histogram("collectors.master.overlap_saved_s").observe(ov.saved_s)
 
         for key in order:

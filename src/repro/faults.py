@@ -46,6 +46,14 @@ from repro.common.rng import make_rng
 log = obs.get_logger(__name__)
 
 
+def _record_fault(kind: str) -> None:
+    """Count an injected fault and wake the flight recorder, if any."""
+    obs.counter("faults.injected", kind=kind).inc()
+    recorder = obs.get_registry().flight_recorder
+    if recorder is not None:
+        recorder.on_fault(kind)
+
+
 @dataclass
 class FaultPlan:
     """Declarative description of an injection campaign.
@@ -117,7 +125,7 @@ class FaultInjector:
 
     def _count(self, kind: str) -> None:
         self.injected += 1
-        obs.counter("faults.injected", kind=kind).inc()
+        _record_fault(kind)
 
     # -- hooks consulted by the stack ---------------------------------
 
@@ -212,7 +220,7 @@ def crash_collector(collector, down_s: float) -> None:
     """
     engine = collector.net.engine
     collector.crashed_until = engine.now + down_s
-    obs.counter("faults.injected", kind="collector_crash").inc()
+    _record_fault("collector_crash")
     log.debug("%s crashed until t=%.1f", collector.name, collector.crashed_until)
 
     def _restart() -> None:
@@ -230,7 +238,7 @@ def crash_agent(world, ip, down_s: float | None = None) -> None:
     if agent is None:
         raise ValueError(f"no agent at {ip}")
     agent.reachable = False
-    obs.counter("faults.injected", kind="agent_crash").inc()
+    _record_fault("agent_crash")
     if down_s is not None:
         def _restore() -> None:
             agent.reachable = True
@@ -241,7 +249,7 @@ def crash_agent(world, ip, down_s: float | None = None) -> None:
 def spike_link_latency(net, link, extra_s: float, duration_s: float | None = None) -> None:
     """Add a delay spike to one link (optionally reverting later)."""
     link.latency_s += extra_s
-    obs.counter("faults.injected", kind="latency_spike").inc()
+    _record_fault("latency_spike")
     if duration_s is not None:
         def _revert() -> None:
             link.latency_s = max(0.0, link.latency_s - extra_s)
@@ -260,7 +268,7 @@ def degrade_link(net, link, factor: float, duration_s: float | None = None) -> N
     if not 0.0 < factor <= 1.0:
         raise ValueError("factor must be in (0, 1]")
     original = link.capacity_bps
-    obs.counter("faults.injected", kind="link_degrade").inc()
+    _record_fault("link_degrade")
 
     def _scale(cap: float) -> None:
         now = net.now

@@ -10,6 +10,7 @@ from repro.lint.rules.rml004_status import StatusDisciplineRule
 from repro.lint.rules.rml005_excepts import BlindExceptRule
 from repro.lint.rules.rml006_oid_literals import OidLiteralRule
 from repro.lint.rules.rml007_metric_names import MetricNameRule
+from repro.lint.rules.rml008_span_names import SpanNameRule
 
 ALL_RULES: tuple[type[Rule], ...] = (
     SimClockPurityRule,
@@ -19,6 +20,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     BlindExceptRule,
     OidLiteralRule,
     MetricNameRule,
+    SpanNameRule,
 )
 
 

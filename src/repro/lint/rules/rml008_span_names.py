@@ -1,0 +1,89 @@
+"""RML008 — span-name drift.
+
+The trace tooling keys on span names: ``repro trace`` attributes
+latency to layers by span-name prefix, flight-recorder dumps are
+grepped by span name, and every span feeds a ``<name>.duration_s``
+histogram whose name exporter consumers depend on.  A typo in one
+``obs.span("...")`` call silently forks a latency series and drops the
+span out of its attribution layer.  Every literal span name must
+appear in the central catalogue (``repro.obs.catalog.SPAN_NAMES``),
+which ``docs/observability.md`` documents.
+
+Dynamic (non-literal) names can't be checked statically and are
+skipped; they should be rare and label-shaped instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import FileContext, ImportMap, Rule, Violation
+
+#: canonical module paths the span factory lives on
+_OBS_PATHS = ("repro.obs.", "obs.")
+
+
+def _load_catalogue() -> frozenset[str]:
+    from repro.obs.catalog import SPAN_NAMES
+
+    return SPAN_NAMES
+
+
+class SpanNameRule(Rule):
+    code = "RML008"
+    name = "span-name-drift"
+    rationale = (
+        "obs span names must be registered in repro.obs.catalog so "
+        "trace attribution and duration histograms never chase a typo"
+    )
+    scope = ("src/repro",)
+    exempt = ("src/repro/obs",)
+
+    def __init__(self, catalogue: frozenset[str] | None = None) -> None:
+        self._catalogue = catalogue
+
+    @property
+    def catalogue(self) -> frozenset[str]:
+        if self._catalogue is None:
+            self._catalogue = _load_catalogue()
+        return self._catalogue
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        imports = ImportMap.of(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._is_span_call(node.func, imports) or not node.args:
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                continue
+            name = first.value
+            if name not in self.catalogue:
+                yield ctx.violation(
+                    self,
+                    first,
+                    f"obs.span({name!r}) is not in the span catalogue; "
+                    "register it in repro.obs.catalog.SPAN_NAMES (and "
+                    "docs/observability.md)",
+                )
+
+    def _is_span_call(self, func: ast.AST, imports: ImportMap) -> bool:
+        """True for obs.span / repro.obs.span / reg.span call sites."""
+        if isinstance(func, ast.Attribute) and func.attr == "span":
+            resolved = imports.resolve(func)
+            if resolved and any(
+                resolved.startswith(p) or resolved == p + "span" for p in _OBS_PATHS
+            ):
+                return True
+            # registry-handle form: reg.span(...) — only when the
+            # receiver is literally a registry-ish name, to avoid
+            # flagging unrelated .span() methods
+            if isinstance(func.value, ast.Name) and func.value.id in (
+                "obs",
+                "reg",
+                "registry",
+            ):
+                return True
+        return False

@@ -62,14 +62,18 @@ class Answer:
     """Common surface of every Remos answer.
 
     Concrete answers are dataclasses that append ``status``,
-    ``data_age_s``, and ``provenance`` fields; this (non-dataclass)
-    base only contributes the convenience predicates, so subclasses
-    keep full control of their field order.
+    ``data_age_s``, ``provenance``, and ``trace_id`` fields; this
+    (non-dataclass) base only contributes the convenience predicates,
+    so subclasses keep full control of their field order.
     """
 
     status: QueryStatus
     data_age_s: float
     provenance: tuple[str, ...]
+    #: trace of the query span that produced this answer (None when no
+    #: live registry was installed); feed it to ``repro trace`` or the
+    #: flight recorder to see where the latency went
+    trace_id: str | None
 
     @property
     def ok(self) -> bool:
@@ -109,6 +113,7 @@ class FlowAnswer(Answer):
     data_age_s: float = 0.0
     #: sites whose collectors contributed to the answer
     provenance: tuple[str, ...] = ()
+    trace_id: str | None = None
 
 
 @dataclass
@@ -130,6 +135,7 @@ class NodeAnswer(Answer):
     status: QueryStatus = QueryStatus.OK
     data_age_s: float = 0.0
     provenance: tuple[str, ...] = ()
+    trace_id: str | None = None
 
 
 @dataclass
@@ -144,6 +150,7 @@ class TopologyAnswer(Answer):
     status: QueryStatus = QueryStatus.OK
     data_age_s: float = 0.0
     provenance: tuple[str, ...] = ()
+    trace_id: str | None = None
 
 
 def _ip_of(host) -> str:
@@ -262,7 +269,7 @@ class Modeler:
         """
         if detail not in ("raw", "simplified", "summary"):
             raise QueryError(f"unknown detail level {detail!r}")
-        with obs.span("modeler.topology_query", detail=detail):
+        with obs.span("modeler.topology_query", detail=detail) as sp:
             obs.counter("modeler.queries", kind="topology").inc()
             ips = [_ip_of(h) for h in hosts]
             graph, meta = self._fetch(ips, include_dynamics, strict=strict)
@@ -277,6 +284,7 @@ class Modeler:
                 status=meta.status,
                 data_age_s=meta.data_age_s,
                 provenance=meta.provenance,
+                trace_id=sp.trace_id,
             )
 
     @staticmethod
@@ -381,7 +389,7 @@ class Modeler:
         API); non-strict mode answers what it can, marking unroutable
         pairs FAILED with zeroed bandwidths and an empty path.
         """
-        with obs.span("modeler.flow_query"):
+        with obs.span("modeler.flow_query") as sp:
             obs.counter("modeler.queries", kind="flow").inc()
             ip_pairs = [(_ip_of(s), _ip_of(d)) for s, d in pairs]
             own = [
@@ -415,9 +423,10 @@ class Modeler:
                         status=QueryStatus.FAILED,
                         data_age_s=meta.data_age_s,
                         provenance=meta.provenance,
+                        trace_id=sp.trace_id,
                     )
             preds = predict_flows(graph, answerable)
-            good = [self._to_answer(p, meta) for p in preds]
+            good = [self._to_answer(p, meta, sp.trace_id) for p in preds]
             if predict:
                 for ans in good:
                     self._attach_prediction(graph, ans, horizon_steps)
@@ -466,14 +475,14 @@ class Modeler:
         """Current (and optionally forecast) load of compute nodes."""
         if self.node_info_provider is None:
             raise QueryError("no node information provider configured")
-        with obs.span("modeler.node_query"):
+        with obs.span("modeler.node_query") as sp:
             obs.counter("modeler.queries", kind="node").inc()
             answers: list[NodeAnswer] = []
             for h in hosts:
                 ip = _ip_of(h)
                 self.net.engine.advance(self.rpc.local_s)
                 load, predictor = self.node_info_provider(ip)
-                ans = NodeAnswer(ip, load)
+                ans = NodeAnswer(ip, load, trace_id=sp.trace_id)
                 if load is None:
                     # no sensor covers this host; the answer says so
                     # rather than raising (historical behaviour)
@@ -564,7 +573,9 @@ class Modeler:
         self._query_cache.clear()
 
     @staticmethod
-    def _to_answer(p: FlowPrediction, meta: _FetchMeta) -> FlowAnswer:
+    def _to_answer(
+        p: FlowPrediction, meta: _FetchMeta, trace_id: str | None
+    ) -> FlowAnswer:
         # A pair answered from a PARTIAL topology is itself suspect —
         # traffic from the missing sites is invisible to the max-min
         # model — so the fetch status carries through to the answer.
@@ -574,6 +585,7 @@ class Modeler:
             status=meta.status,
             data_age_s=meta.data_age_s,
             provenance=meta.provenance,
+            trace_id=trace_id,
         )
 
     def _attach_prediction(

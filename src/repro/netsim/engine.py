@@ -148,6 +148,10 @@ class Engine:
         self._seq = itertools.count()
         #: number of callbacks dispatched (diagnostics / tests)
         self.dispatched = 0
+        #: cached (registry, handles...) for _observe — the engine
+        #: advances on every simulated RPC, so re-resolving four metric
+        #: handles per advance would dominate live-registry overhead
+        self._obs_handles: tuple | None = None
 
     @property
     def now(self) -> float:
@@ -305,12 +309,24 @@ class Engine:
         """Report one run's aggregates to the metrics registry.
 
         Aggregated per run rather than per event so the dispatch loop
-        itself carries no instrumentation overhead.
+        itself carries no instrumentation overhead.  The four handles
+        are cached per registry: name-based resolution on every advance
+        would cost more than the rest of the advance itself.
         """
-        obs.counter("netsim.engine.events").inc(self.dispatched - d0)
-        obs.counter("netsim.engine.sim_advance_s").inc(self._now - t0)
-        obs.gauge("netsim.engine.sim_time_s").set(self._now)
-        obs.gauge("netsim.engine.queue_depth").set(len(self._queue))
+        reg = obs.get_registry()
+        handles = self._obs_handles
+        if handles is None or handles[0] is not reg:
+            handles = self._obs_handles = (
+                reg,
+                reg.counter("netsim.engine.events"),
+                reg.counter("netsim.engine.sim_advance_s"),
+                reg.gauge("netsim.engine.sim_time_s"),
+                reg.gauge("netsim.engine.queue_depth"),
+            )
+        handles[1].inc(self.dispatched - d0)
+        handles[2].inc(self._now - t0)
+        handles[3].set(self._now)
+        handles[4].set(len(self._queue))
 
     def pending(self) -> int:
         """Number of live events still queued."""

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from repro.obs import export, log, metrics, timebase, tracing  # noqa: F401
 from repro.obs.log import get_logger
+from repro.obs.flightrec import FlightRecorder, load_dump
 from repro.obs.metrics import Counter, Gauge, Histogram, render_name
 from repro.obs.registry import (
     MetricsRegistry,
@@ -45,15 +46,18 @@ from repro.obs.timebase import (
     cpu_now,
     wall_now,
 )
-from repro.obs.tracing import SpanRecord
+from repro.obs.tracing import SpanRecord, TraceContext
+from repro.obs import flightrec, traceview  # noqa: F401
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullRegistry",
     "SpanRecord",
+    "TraceContext",
     "FixedTimebase",
     "SimTimebase",
     "WallTimebase",
@@ -68,29 +72,34 @@ __all__ = [
     "set_registry",
     "scoped_registry",
     "render_name",
+    "load_dump",
     "export",
+    "flightrec",
     "log",
     "metrics",
     "timebase",
+    "traceview",
     "tracing",
 ]
 
 
-def counter(name: str, **labels):
+def counter(name: str, **labels: object) -> "metrics.Counter | metrics.NullCounter":
     """Counter handle from the current registry."""
     return get_registry().counter(name, **labels)
 
 
-def gauge(name: str, **labels):
+def gauge(name: str, **labels: object) -> "metrics.Gauge | metrics.NullGauge":
     """Gauge handle from the current registry."""
     return get_registry().gauge(name, **labels)
 
 
-def histogram(name: str, **labels):
+def histogram(
+    name: str, **labels: object
+) -> "metrics.Histogram | metrics.NullHistogram":
     """Histogram handle from the current registry."""
     return get_registry().histogram(name, **labels)
 
 
-def span(name: str, **labels):
+def span(name: str, **labels: object) -> "tracing.Span | tracing.NullSpan":
     """Span context manager from the current registry."""
     return get_registry().span(name, **labels)

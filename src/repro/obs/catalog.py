@@ -1,13 +1,15 @@
-"""Central catalogue of observability metric names.
+"""Central catalogue of observability metric and span names.
 
 Every counter/gauge/histogram name used in instrumentation must be
-registered here — remoslint rule RML007 fails the build otherwise —
-so exporter consumers, dashboards, and the BENCH_*.json diffs never
-chase a typo'd time series.  ``docs/observability.md`` is the prose
+registered in :data:`METRIC_NAMES` — remoslint rule RML007 fails the
+build otherwise — and every span name in :data:`SPAN_NAMES` — rule
+RML008 — so exporter consumers, dashboards, trace tooling, and the
+BENCH_*.json diffs never chase a typo'd time series or a trace name
+that silently forked.  ``docs/observability.md`` is the prose
 companion; this module is the machine-checked source of truth.
 
-Span names are not listed: spans derive their ``<name>.duration_s``
-histograms inside the obs layer itself, which is exempt from RML007.
+Spans derive ``<name>.duration_s`` histograms inside the obs layer
+itself; those derived histogram names are not listed separately.
 """
 
 from __future__ import annotations
@@ -75,5 +77,36 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "rps.streaming.refits",
         # -- faults ----------------------------------------------------
         "faults.injected",
+        # -- obs itself ------------------------------------------------
+        "obs.flightrec.dumps",
+    }
+)
+
+#: every span name instrumentation may open (RML008); each span also
+#: feeds a derived ``<name>.duration_s`` histogram with its labels.
+SPAN_NAMES: frozenset[str] = frozenset(
+    {
+        # -- session (trace roots) -------------------------------------
+        "session.flow_info",
+        "session.flow_info_many",
+        "session.node_info",
+        "session.topology",
+        # -- modeler ---------------------------------------------------
+        "modeler.flow_query",
+        "modeler.maxmin",
+        "modeler.node_query",
+        "modeler.simplify",
+        "modeler.topology_query",
+        # -- collectors ------------------------------------------------
+        "collectors.master.delegate",
+        "collectors.master.history",
+        "collectors.master.topology",
+        "collectors.snmp.history",
+        "collectors.snmp.poll",
+        "collectors.snmp.topology",
+        # -- snmp transport --------------------------------------------
+        "snmp.client.pdu",
+        "snmp.client.retry",
+        "snmp.client.timeout",
     }
 )

@@ -4,11 +4,14 @@ Two consumers, two formats:
 
 * :func:`snapshot` / :func:`to_json` — a plain dict / JSON document for
   benchmark scripts and EXPERIMENTS.md tooling (registry reads replace
-  hand-rolled counters).
+  hand-rolled counters).  Span entries carry the causal identifiers
+  (``trace_id``/``span_id``/``parent_id``, see :mod:`repro.obs.tracing`)
+  so the tree is reconstructible offline (``repro trace`` renders it).
 * :func:`to_prometheus` — the Prometheus text exposition format
   (``# TYPE`` comments, ``name{label="v"} value`` samples; histograms
   as summaries with ``quantile`` labels plus ``_sum``/``_count``), so a
-  real scrape endpoint is one HTTP handler away.
+  real scrape endpoint is one HTTP handler away.  Label values are
+  escaped per the exposition spec (backslash, double quote, newline).
   :func:`parse_prometheus` reads that format back, which the tests use
   to prove the export round-trips.
 
@@ -22,8 +25,14 @@ from __future__ import annotations
 import json
 import math
 import re
+from typing import TYPE_CHECKING
 
-from repro.obs.metrics import Histogram, render_name
+from repro.obs.metrics import Histogram, LabelsKey, render_name
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.obs.registry import MetricsRegistry, NullRegistry
+
+    AnyRegistry = MetricsRegistry | NullRegistry
 
 #: prefix for every exported Prometheus metric
 PROM_PREFIX = "repro_"
@@ -33,7 +42,7 @@ _SAMPLE_RE = re.compile(
     r"(?:\{(?P<labels>[^}]*)\})?"
     r"\s+(?P<value>\S+)\s*$"
 )
-_LABEL_RE = re.compile(r'(?P<k>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<v>[^"]*)"')
+_LABEL_RE = re.compile(r'(?P<k>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<v>(?:[^"\\]|\\.)*)"')
 
 
 def prom_name(name: str) -> str:
@@ -46,7 +55,7 @@ def _finite(v: float) -> float | None:
     return v if math.isfinite(v) else None
 
 
-def _histogram_summary(h: Histogram) -> dict:
+def _histogram_summary(h: Histogram) -> dict[str, object]:
     return {
         "count": h.count,
         "sum": _finite(h.sum),
@@ -59,7 +68,7 @@ def _histogram_summary(h: Histogram) -> dict:
     }
 
 
-def snapshot(registry, max_spans: int = 256) -> dict:
+def snapshot(registry: "AnyRegistry", max_spans: int = 256) -> dict[str, object]:
     """The registry's state as a plain dict (JSON-serialisable)."""
     return {
         "counters": {
@@ -82,21 +91,52 @@ def snapshot(registry, max_spans: int = 256) -> dict:
                 "wall_s": s.wall_s,
                 "depth": s.depth,
                 "parent": s.parent,
+                "trace_id": s.trace_id,
+                "span_id": s.span_id,
+                "parent_id": s.parent_id,
             }
             for s in list(registry.spans)[-max_spans:]
         ],
     }
 
 
-def to_json(registry, indent: int | None = 2, max_spans: int = 256) -> str:
+def to_json(
+    registry: "AnyRegistry", indent: int | None = 2, max_spans: int = 256
+) -> str:
     return json.dumps(snapshot(registry, max_spans=max_spans), indent=indent)
 
 
-def _prom_labels(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+def escape_label_value(v: str) -> str:
+    """Escape a label value per the Prometheus exposition format."""
+    return v.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _unescape_label_value(v: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(v):
+        ch = v[i]
+        if ch == "\\" and i + 1 < len(v):
+            nxt = v[i + 1]
+            out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _prom_labels(
+    labels: LabelsKey, extra: tuple[tuple[str, str], ...] = ()
+) -> str:
     items = tuple(labels) + extra
     if not items:
         return ""
-    return "{" + ",".join(f'{k}="{v}"' for k, v in items) + "}"
+    return (
+        "{"
+        + ",".join(f'{k}="{escape_label_value(v)}"' for k, v in items)
+        + "}"
+    )
 
 
 def _prom_value(v: float) -> str:
@@ -107,7 +147,7 @@ def _prom_value(v: float) -> str:
     return repr(float(v))
 
 
-def to_prometheus(registry) -> str:
+def to_prometheus(registry: "AnyRegistry") -> str:
     """Prometheus text exposition of every counter, gauge, histogram."""
     lines: list[str] = []
     typed: set[str] = set()
@@ -143,7 +183,7 @@ def parse_prometheus(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]],
 
     Supports the subset :func:`to_prometheus` emits (which is the
     standard sample syntax), so ``parse_prometheus(to_prometheus(r))``
-    recovers every exported sample.
+    recovers every exported sample, escaped label values included.
     """
     out: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
     for line in text.splitlines():
@@ -154,7 +194,7 @@ def parse_prometheus(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]],
         if m is None:
             raise ValueError(f"unparseable sample line: {line!r}")
         labels = tuple(
-            (lm.group("k"), lm.group("v"))
+            (lm.group("k"), _unescape_label_value(lm.group("v")))
             for lm in _LABEL_RE.finditer(m.group("labels") or "")
         )
         raw = m.group("value")

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import logging
 import sys
+from typing import IO
 
 ROOT = "repro"
 
@@ -41,7 +42,7 @@ def get_logger(name: str | None = None) -> logging.Logger:
 
 
 def configure(
-    verbose: bool = False, stream=None, level: int | None = None
+    verbose: bool = False, stream: IO[str] | None = None, level: int | None = None
 ) -> logging.Logger:
     """Attach a stderr handler to the ``repro`` root logger.
 

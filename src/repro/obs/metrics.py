@@ -15,12 +15,20 @@ from __future__ import annotations
 
 import math
 from collections import deque
+from typing import Iterable
 
 #: label set rendered into a stable identity: (("k", "v"), ...)
 LabelsKey = tuple[tuple[str, str], ...]
 
 
 def labels_key(labels: dict[str, object]) -> LabelsKey:
+    # hot path: almost every call site passes zero or one label, where
+    # no sort is needed
+    if not labels:
+        return ()
+    if len(labels) == 1:
+        [(k, v)] = labels.items()
+        return ((k, str(v)),)
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
@@ -126,11 +134,11 @@ class Histogram:
         frac = pos - lo
         return data[lo] * (1.0 - frac) + data[hi] * frac
 
-    def quantiles(self, qs=QUANTILES) -> dict[float, float]:
+    def quantiles(self, qs: Iterable[float] = QUANTILES) -> dict[float, float]:
         if not self._window:
             return {q: math.nan for q in qs}
         data = sorted(self._window)
-        out = {}
+        out: dict[float, float] = {}
         for q in qs:
             pos = q * (len(data) - 1)
             lo = int(pos)
@@ -178,7 +186,7 @@ class NullHistogram:
     def quantile(self, q: float) -> float:
         return math.nan
 
-    def quantiles(self, qs=Histogram.QUANTILES) -> dict[float, float]:
+    def quantiles(self, qs: Iterable[float] = Histogram.QUANTILES) -> dict[float, float]:
         return {q: math.nan for q in qs}
 
 

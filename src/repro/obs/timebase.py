@@ -60,14 +60,18 @@ class SimTimebase:
     obs layer importing netsim (which would invert the layering).
     """
 
-    def __init__(self, source) -> None:
+    def __init__(self, source: object) -> None:
         if not hasattr(source, "now"):
             raise TypeError(f"{source!r} has no 'now' attribute")
         self._source = source
+        # resolve once whether `now` is a method or a property; this
+        # clock is read twice per span, so the per-call callable()
+        # check is worth hoisting
+        self._is_method = callable(source.now)  # type: ignore[attr-defined]
 
     def now(self) -> float:
-        value = self._source.now
-        return float(value() if callable(value) else value)
+        value = self._source.now  # type: ignore[attr-defined]
+        return float(value()) if self._is_method else float(value)
 
 
 class FixedTimebase:

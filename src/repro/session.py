@@ -22,11 +22,22 @@ unreachable Master.
         plan_transfer(ans.available_bps)
     elif ans.degraded:
         log.warning("degraded answer: %s (age %.1fs)", ans.status, ans.data_age_s)
+
+Every session call opens a *root span* (``session.flow_info`` etc.)
+when a live metrics registry is installed, so the entire causal tree
+below it — modeler, Master delegation per site, individual SNMP PDUs
+and retries — shares one ``trace_id``, which is also stamped into each
+answer.  Degraded answers are reported to the registry's flight
+recorder (if one is attached; see :mod:`repro.obs.flightrec`), which
+dumps the trace evidence for post-mortem rendering with
+``repro trace``.
 """
 
 from __future__ import annotations
 
+from repro import obs
 from repro.modeler.api import (
+    Answer,
     FlowAnswer,
     Modeler,
     NodeAnswer,
@@ -42,15 +53,32 @@ class RemosSession:
     def __init__(self, modeler: Modeler) -> None:
         self.modeler = modeler
 
+    @staticmethod
+    def _finish(answers: list) -> None:
+        """Report degraded answers to the flight recorder, if attached.
+
+        Called after the root span has closed, so the dump sees the
+        complete causal tree for the trace.
+        """
+        recorder = obs.get_registry().flight_recorder
+        if recorder is None:
+            return
+        for ans in answers:
+            if isinstance(ans, Answer) and ans.degraded:
+                recorder.on_answer(ans)
+
     # -- flows ---------------------------------------------------------
 
     def flow_info(
         self, src, dst, predict: bool = False, horizon_steps: int = 1
     ) -> FlowAnswer:
         """Expected bandwidth for one new flow src -> dst."""
-        return self.modeler._flow_answers(
-            [(src, dst)], predict, horizon_steps, None, strict=False
-        )[0]
+        with obs.span("session.flow_info"):
+            answers = self.modeler._flow_answers(
+                [(src, dst)], predict, horizon_steps, None, strict=False
+            )
+        self._finish(answers)
+        return answers[0]
 
     def flow_info_many(
         self,
@@ -65,9 +93,12 @@ class RemosSession:
         ``(src, dst, rate_bps)`` triples so it is not mistaken for
         competing load (see Modeler docs).
         """
-        return self.modeler._flow_answers(
-            pairs, predict, horizon_steps, own_flows, strict=False
-        )
+        with obs.span("session.flow_info_many"):
+            answers = self.modeler._flow_answers(
+                pairs, predict, horizon_steps, own_flows, strict=False
+            )
+        self._finish(answers)
+        return answers
 
     # -- topology ------------------------------------------------------
 
@@ -80,9 +111,12 @@ class RemosSession:
         hosts no collector could cover are listed in
         ``answer.unresolved`` and reflected in ``answer.status``.
         """
-        return self.modeler._topology_answer(
-            hosts, detail, include_dynamics, strict=False
-        )
+        with obs.span("session.topology", detail=detail):
+            answer = self.modeler._topology_answer(
+                hosts, detail, include_dynamics, strict=False
+            )
+        self._finish([answer])
+        return answer
 
     # -- nodes ---------------------------------------------------------
 
@@ -90,7 +124,10 @@ class RemosSession:
         self, hosts, predict: bool = False, horizon_steps: int = 1
     ) -> list[NodeAnswer]:
         """Current (and optionally forecast) load of compute nodes."""
-        return self.modeler._node_answers(hosts, predict, horizon_steps)
+        with obs.span("session.node_info"):
+            answers = self.modeler._node_answers(hosts, predict, horizon_steps)
+        self._finish(answers)
+        return answers
 
     # -- plumbing ------------------------------------------------------
 

@@ -88,14 +88,18 @@ class SnmpClient:
             inj = self._injector()
             if inj is not None:
                 dt += inj.pdu_delay_s(ip)
-        self.world.net.engine.advance(dt)
+        # a leaf span per PDU exchange ties the transport cost into the
+        # query's causal trace (sim-clock interval == the charge)
+        with obs.span("snmp.client.pdu", op=op):
+            self.world.net.engine.advance(dt)
 
     def _timeout(self, op: str) -> None:
         self.pdu_count += 1
         self.timeout_count += 1
         obs.counter("snmp.client.pdus", op=op).inc()
         obs.counter("snmp.client.timeouts").inc()
-        self.world.net.engine.advance(self.cost.timeout_s)
+        with obs.span("snmp.client.timeout", op=op):
+            self.world.net.engine.advance(self.cost.timeout_s)
 
     def _attempt(self, ip: IPv4Address | str, op: str):
         """One request attempt: the agent, or an unreachable timeout."""
@@ -126,7 +130,8 @@ class SnmpClient:
             if attempt > 0:
                 self.retry_count += 1
                 obs.counter("snmp.retries", op=op).inc()
-                self.world.net.engine.advance(backoff)
+                with obs.span("snmp.client.retry", op=op):
+                    self.world.net.engine.advance(backoff)
                 backoff *= self.cost.backoff_mult
             try:
                 return self._attempt(ip, op)

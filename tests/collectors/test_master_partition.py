@@ -88,12 +88,22 @@ class TestStackedMasters:
             str(wan.host("cmu", 0).ip), str(wan.host("eth", 0).ip)
         )
         assert "cmu-gw" in path and "eth-gw" in path
-        # the inner master's query span nests under the outer one
+        # the inner master's query span nests under the outer master's
+        # per-fragment delegation span, which nests under the outer
+        # query span — follow the explicit parent_id links
+        by_id = {s.span_id: s for s in reg.spans}
         inner = [
             s for s in reg.spans
-            if s.name == "collectors.master.topology" and s.depth == 1
+            if s.name == "collectors.master.topology" and s.parent_id
         ]
-        assert inner and inner[0].parent == "collectors.master.topology"
+        assert inner
+        delegate = by_id[inner[0].parent_id]
+        assert delegate.name == "collectors.master.delegate"
+        outer = by_id[delegate.parent_id]
+        assert outer.name == "collectors.master.topology"
+        assert outer.parent_id is None
+        # one trace spans the whole stacked query
+        assert {inner[0].trace_id} == {delegate.trace_id, outer.trace_id}
 
     def test_unresolved_propagates_through_stack(self, wan):
         # the top master delegates 172.16/12 down; the inner master

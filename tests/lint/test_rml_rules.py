@@ -13,6 +13,7 @@ from repro.lint.engine import lint_source
 from repro.lint.rules import make_rules
 from repro.lint.rules.rml006_oid_literals import looks_like_oid
 from repro.lint.rules.rml007_metric_names import MetricNameRule
+from repro.lint.rules.rml008_span_names import SpanNameRule
 
 
 def run(source: str, path: str, codes: str | None = None):
@@ -466,7 +467,89 @@ class TestRML007MetricNames:
         assert [v.code for v in vs] == ["RML007"]
 
 
+class TestRML008SpanNames:
+    def test_unregistered_span_name_flagged(self):
+        vs = run(
+            """
+            from repro import obs
+
+            with obs.span("session.flow_infoo"):
+                pass
+            """,
+            "src/repro/snmp/client2.py",
+        )
+        assert [v.code for v in vs] == ["RML008"]
+        assert "SPAN_NAMES" in vs[0].message
+
+    def test_registered_span_names_sanctioned(self):
+        vs = run(
+            """
+            from repro import obs
+
+            with obs.span("session.flow_info"):
+                with obs.span("collectors.master.delegate", site="cmu"):
+                    pass
+            """,
+            "src/repro/snmp/client2.py",
+        )
+        assert vs == []
+
+    def test_registry_handle_form_flagged(self):
+        vs = run(
+            """
+            from repro.obs import MetricsRegistry
+
+            reg = MetricsRegistry()
+            with reg.span("totally.unknown"):
+                pass
+            """,
+            "src/repro/snmp/client2.py",
+        )
+        assert [v.code for v in vs] == ["RML008"]
+
+    def test_pragma_suppresses(self):
+        vs = run(
+            """
+            from repro import obs
+
+            with obs.span("made.up.span"):  # remoslint: disable=RML008
+                pass
+            """,
+            "src/repro/snmp/client2.py",
+        )
+        assert vs == []
+
+    def test_obs_layer_exempt(self):
+        vs = run(
+            'from repro import obs\nobs.span("internal.span")\n',
+            "src/repro/obs/registry2.py",
+        )
+        assert vs == []
+
+    def test_dynamic_names_and_unrelated_span_methods_skipped(self):
+        vs = run(
+            """
+            from repro import obs
+
+            def trace(name, tree):
+                with obs.span(name):
+                    tree.span("not.an.obs.span")
+            """,
+            "src/repro/snmp/client2.py",
+        )
+        assert vs == []
+
+    def test_injected_catalogue(self):
+        rule = SpanNameRule(catalogue=frozenset({"known.span"}))
+        vs = lint_source(
+            'from repro import obs\nobs.span("other.span")\n',
+            [rule],
+            path="src/repro/snmp/client2.py",
+        )
+        assert [v.code for v in vs] == ["RML008"]
+
+
 class TestEveryRuleHasFixtureCoverage:
-    def test_all_seven_rules_exist(self):
+    def test_all_eight_rules_exist(self):
         codes = {r.code for r in make_rules()}
-        assert codes == {f"RML00{i}" for i in range(1, 8)}
+        assert codes == {f"RML00{i}" for i in range(1, 9)}

@@ -22,9 +22,11 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 #: must mirror the module= list of the strict [[tool.mypy.overrides]]
-STRICT_FILES = sorted(
-    (REPO_ROOT / "src" / "repro" / "common").rglob("*.py")
-) + [REPO_ROOT / "src" / "repro" / "modeler" / "graph.py"]
+STRICT_FILES = (
+    sorted((REPO_ROOT / "src" / "repro" / "common").rglob("*.py"))
+    + [REPO_ROOT / "src" / "repro" / "modeler" / "graph.py"]
+    + sorted((REPO_ROOT / "src" / "repro" / "obs").rglob("*.py"))
+)
 
 STRICT_MODULES = [
     "repro.common",
@@ -33,6 +35,16 @@ STRICT_MODULES = [
     "repro.common.status",
     "repro.common.units",
     "repro.modeler.graph",
+    "repro.obs",
+    "repro.obs.catalog",
+    "repro.obs.export",
+    "repro.obs.flightrec",
+    "repro.obs.log",
+    "repro.obs.metrics",
+    "repro.obs.registry",
+    "repro.obs.timebase",
+    "repro.obs.traceview",
+    "repro.obs.tracing",
 ]
 
 

@@ -1,0 +1,155 @@
+"""Flight recorder: triggers, budget, and dump round-trips."""
+
+import json
+import logging
+
+from repro import faults, obs
+from repro.common.status import QueryStatus
+from repro.common.units import MBPS
+from repro.deploy import deploy_wan
+from repro.netsim.builders import SiteSpec, build_multisite_wan
+from repro.obs import traceview
+from repro.obs.flightrec import FlightRecorder, load_dump
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timebase import FixedTimebase
+
+
+def _make_spans(reg: MetricsRegistry, clock: FixedTimebase) -> None:
+    with reg.span("session.topology", detail="full"):
+        with reg.span("collectors.master.topology"):
+            clock.advance(1.0)
+        clock.advance(0.5)
+
+
+class TestLifecycle:
+    def test_attach_registers_on_registry_and_detach_clears(self):
+        reg = MetricsRegistry()
+        rec = FlightRecorder(reg)
+        assert reg.flight_recorder is None
+        with rec:
+            assert reg.flight_recorder is rec
+        assert reg.flight_recorder is None
+
+    def test_log_tail_is_bounded_and_captured(self):
+        reg = MetricsRegistry(clock=FixedTimebase(10.0))
+        with FlightRecorder(reg, max_log_events=3) as rec:
+            log = logging.getLogger("repro.test.flightrec")
+            for i in range(5):
+                log.debug("event %d", i)
+            payload = rec.dump("manual")
+        events = payload["events"]
+        assert [e["message"] for e in events] == ["event 2", "event 3", "event 4"]
+        assert all(e["t_s"] == 10.0 for e in events)
+
+    def test_max_dumps_budget_stops_a_dump_storm(self):
+        reg = MetricsRegistry()
+        rec = FlightRecorder(reg, max_dumps=2)
+        assert rec.maybe_dump("fault.crash") is not None
+        assert rec.maybe_dump("fault.crash") is not None
+        assert rec.maybe_dump("fault.crash") is None
+        assert len(rec.dumps) == 2
+
+
+class TestDumpRoundTrip:
+    def test_dump_load_reconstructs_an_identical_span_tree(self, tmp_path):
+        clock = FixedTimebase()
+        reg = MetricsRegistry(clock=clock)
+        rec = FlightRecorder(reg, out_dir=tmp_path)
+        _make_spans(reg, clock)
+        payload = rec.dump("manual")
+        (path,) = sorted(tmp_path.glob("flightrec-*.json"))
+        loaded = load_dump(path)
+        assert loaded["reason"] == "manual"
+        assert loaded["version"] == payload["version"]
+        before = traceview.span_tree(payload["spans"])
+        after = traceview.span_tree(loaded["spans"])
+        assert after == before
+
+    def test_open_spans_are_captured_at_the_dump_instant(self):
+        clock = FixedTimebase()
+        reg = MetricsRegistry(clock=clock)
+        rec = FlightRecorder(reg)
+        with reg.span("session.topology"):
+            clock.advance(2.0)
+            payload = rec.dump("fault.crash_collector")
+        (span,) = payload["spans"]
+        assert span["name"] == "session.topology"
+        assert span["open"] is True
+        assert span["duration_s"] == 2.0
+
+    def test_dump_filters_to_the_requested_trace(self):
+        clock = FixedTimebase()
+        reg = MetricsRegistry(clock=clock)
+        rec = FlightRecorder(reg)
+        _make_spans(reg, clock)  # t0001
+        _make_spans(reg, clock)  # t0002
+        payload = rec.dump("answer.partial", trace_id="t0002")
+        assert payload["trace_id"] == "t0002"
+        assert {s["trace_id"] for s in payload["spans"]} == {"t0002"}
+
+    def test_load_dump_rejects_non_dumps(self, tmp_path):
+        bogus = tmp_path / "x.json"
+        bogus.write_text(json.dumps({"not": "a dump"}))
+        try:
+            load_dump(bogus)
+        except ValueError as e:
+            assert "flight-recorder" in str(e)
+        else:
+            raise AssertionError("load_dump accepted a non-dump")
+
+
+class TestChaosPartialAutoDump:
+    def test_partial_answer_dumps_causal_tree_across_sites(self, tmp_path):
+        """The acceptance scenario: a dead site degrades a query to
+        PARTIAL; the flight recorder auto-dumps, and the dump's span
+        tree shows the per-site delegation fan-out with explicit
+        parents."""
+        w = build_multisite_wan(
+            [SiteSpec(n, access_bps=10 * MBPS, n_hosts=3) for n in ("a", "b", "c")]
+        )
+        dep = deploy_wan(w)
+        faults.install(dep, faults.FaultPlan())
+        faults.crash_collector(dep.snmp_collectors["b"], 60.0)
+        with obs.scoped_registry() as reg:
+            reg.use_sim_clock(w.net.engine)
+            with FlightRecorder(reg, out_dir=tmp_path) as rec:
+                topo = dep.session().topology([w.host(x, 0) for x in "abc"])
+        assert topo.status == QueryStatus.PARTIAL
+        assert topo.trace_id
+        dump = next(
+            d for d in rec.dumps if d["reason"] == "answer.partial"
+        )
+        assert dump["trace_id"] == topo.trace_id
+        roots = traceview.span_tree(dump["spans"])
+        (root,) = [r for r in roots if r["name"] == "session.topology"]
+        modeler = next(
+            c for c in root["children"] if c["name"] == "modeler.topology_query"
+        )
+        master = next(
+            c
+            for c in modeler["children"]
+            if c["name"] == "collectors.master.topology"
+        )
+        sites = {
+            d["labels"]["site"]
+            for d in master["children"]
+            if d["name"] == "collectors.master.delegate"
+        }
+        assert sites == {"a", "b", "c"}
+        # the dump landed on disk and renders through the CLI helpers
+        assert sorted(tmp_path.glob("flightrec-*-answer-partial.json"))
+        lines = traceview.waterfall_lines(dump["spans"])
+        assert any("collectors.master.delegate" in ln for ln in lines)
+
+    def test_fault_firing_triggers_a_dump(self):
+        w = build_multisite_wan(
+            [SiteSpec(n, access_bps=10 * MBPS, n_hosts=2) for n in ("a", "b")]
+        )
+        dep = deploy_wan(w)
+        faults.install(dep, faults.FaultPlan())
+        with obs.scoped_registry() as reg:
+            reg.use_sim_clock(w.net.engine)
+            with FlightRecorder(reg) as rec:
+                faults.crash_collector(dep.snmp_collectors["b"], 30.0)
+        assert any(d["reason"] == "fault.collector_crash" for d in rec.dumps)
+        assert reg.counter("obs.flightrec.dumps", reason="fault").value == 1

@@ -78,3 +78,39 @@ class TestPrometheus:
         samples = export.parse_prometheus(export.to_prometheus(reg))
         assert samples[("repro_g", ())] == math.inf
         assert math.isnan(samples[("repro_h", (("quantile", "0.5"),))])
+
+    def test_label_escaping_round_trips(self):
+        """Backslashes, quotes, and newlines in label values survive
+        the exposition format both ways."""
+        nasty = 'C:\\temp\\"quoted"\nline2'
+        reg = MetricsRegistry()
+        reg.counter("snmp.client.pdus", op=nasty).inc(2)
+        text = export.to_prometheus(reg)
+        assert "\\n" in text and '\\"' in text  # escaped on the wire
+        samples = export.parse_prometheus(text)
+        assert samples[("repro_snmp_client_pdus", (("op", nasty),))] == 2.0
+
+    def test_escape_unescape_inverse(self):
+        for v in ("plain", 'a"b', "a\\b", "a\nb", 'mix\\"of\nall'):
+            assert export._unescape_label_value(export.escape_label_value(v)) == v
+
+
+class TestEmptyRegistry:
+    def test_empty_live_registry_exports_cleanly(self):
+        reg = MetricsRegistry()
+        snap = export.snapshot(reg)
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+        assert snap["spans"] == []
+        json.loads(export.to_json(reg))  # valid JSON
+        text = export.to_prometheus(reg)
+        assert export.parse_prometheus(text) == {}
+
+    def test_null_registry_exports_cleanly(self):
+        from repro.obs.registry import NullRegistry
+
+        reg = NullRegistry()
+        snap = export.snapshot(reg)
+        assert snap["counters"] == {} and snap["spans"] == []
+        assert export.parse_prometheus(export.to_prometheus(reg)) == {}

@@ -70,3 +70,35 @@ class TestSpans:
         with NULL_SPAN:
             with NULL_SPAN:
                 pass
+
+    def test_null_span_carries_the_id_surface(self):
+        # call sites stamp span.trace_id unconditionally; the no-op
+        # span must expose the same attributes, all None
+        with NULL_SPAN as sp:
+            assert sp.trace_id is None
+            assert sp.span_id is None
+            assert sp.parent_id is None
+
+    def test_ids_link_children_to_parents(self):
+        reg = MetricsRegistry(clock=FixedTimebase())
+        with reg.span("outer") as outer:
+            with reg.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert outer.trace_id == "t0001"
+
+    def test_out_of_order_exit_keeps_parents_sane(self):
+        """A span closed late (generator teardown, exception unwinding)
+        must remove itself from the stack, not whatever is on top."""
+        reg = MetricsRegistry(clock=FixedTimebase())
+        root = reg.span("root")
+        child = reg.span("child")
+        root.__enter__()
+        child.__enter__()
+        root.__exit__(None, None, None)  # out of order: root before child
+        with reg.span("next_root") as nxt:
+            # the still-open child must not become next_root's parent
+            assert nxt.parent_id == child.span_id
+        child.__exit__(None, None, None)
+        assert reg._span_stack == []

@@ -1,0 +1,112 @@
+"""Causal identifiers under Engine.overlap: the regression this PR pins.
+
+``OverlapScope.task`` rewinds the sim clock so logically concurrent
+fragment delegations occupy *overlapping* sim-time intervals.  Any
+parent reconstruction based on names, depths, or time containment
+would attach a short sibling's child to whichever longer sibling
+happens to surround it; the explicit ``parent_id`` captured at span
+entry must survive that.
+"""
+
+from repro.netsim.engine import Engine
+from repro.obs import traceview
+from repro.obs.registry import MetricsRegistry
+
+
+def _overlapped_delegation(reg: MetricsRegistry, eng: Engine):
+    """Two concurrent delegate spans, one slow (5s) and one fast (2s)."""
+    with reg.span("collectors.master.topology"):
+        with eng.overlap() as ov:
+            with ov.task():
+                with reg.span("collectors.master.delegate", site="slow"):
+                    with reg.span("collectors.snmp.topology"):
+                        eng.advance(5.0)
+            with ov.task():
+                with reg.span("collectors.master.delegate", site="fast"):
+                    with reg.span("collectors.snmp.topology"):
+                        eng.advance(2.0)
+
+
+class TestOverlappedParents:
+    def setup_method(self):
+        self.eng = Engine()
+        self.reg = MetricsRegistry()
+        self.reg.use_sim_clock(self.eng)
+        _overlapped_delegation(self.reg, self.eng)
+        self.by_id = {s.span_id: s for s in self.reg.spans}
+
+    def _delegate(self, site: str):
+        (d,) = [
+            s
+            for s in self.reg.spans
+            if s.name == "collectors.master.delegate" and dict(s.labels)["site"] == site
+        ]
+        return d
+
+    def test_sibling_intervals_overlap_in_sim_time(self):
+        slow, fast = self._delegate("slow"), self._delegate("fast")
+        assert slow.start_s == fast.start_s  # rewound to a common origin
+        assert fast.end_s < slow.end_s
+        # the fast task's window is strictly inside the slow task's:
+        # exactly the shape that breaks time-containment reconstruction
+        assert slow.start_s <= fast.start_s and fast.end_s <= slow.end_s
+
+    def test_parent_ids_are_the_entry_time_truth(self):
+        root = next(s for s in self.reg.spans if s.parent_id is None)
+        assert root.name == "collectors.master.topology"
+        for site in ("slow", "fast"):
+            d = self._delegate(site)
+            assert d.parent_id == root.span_id
+        # each snmp child hangs off its own delegate, not the one whose
+        # interval happens to contain it
+        children = [s for s in self.reg.spans if s.name == "collectors.snmp.topology"]
+        assert len(children) == 2
+        for c in children:
+            parent = self.by_id[c.parent_id]
+            assert parent.name == "collectors.master.delegate"
+            assert c.duration_s == parent.duration_s
+
+    def test_one_trace_spans_the_whole_delegation(self):
+        assert len({s.trace_id for s in self.reg.spans}) == 1
+
+    def test_span_tree_reconstructs_the_same_shape(self):
+        spans = [traceview.record_to_dict(s) for s in self.reg.spans]
+        (root,) = traceview.span_tree(spans)
+        assert root["name"] == "collectors.master.topology"
+        sites = [d["labels"]["site"] for d in root["children"]]
+        assert sorted(sites) == ["fast", "slow"]
+        for d in root["children"]:
+            (child,) = d["children"]
+            assert child["name"] == "collectors.snmp.topology"
+            assert child["duration_s"] == d["duration_s"]
+
+    def test_chrome_export_gives_overlapping_siblings_distinct_lanes(self):
+        spans = [traceview.record_to_dict(s) for s in self.reg.spans]
+        events = traceview.to_chrome_trace(spans)["traceEvents"]
+        lanes = {
+            e["args"]["site"]: e["tid"]
+            for e in events
+            if e["name"] == "collectors.master.delegate"
+        }
+        assert lanes["slow"] != lanes["fast"]
+
+
+class TestFreshTracesPerRoot:
+    def test_sequential_roots_get_distinct_deterministic_traces(self):
+        reg = MetricsRegistry()
+        for _ in range(3):
+            with reg.span("session.flow_info"):
+                pass
+        tids = [s.trace_id for s in reg.spans]
+        assert tids == ["t0001", "t0002", "t0003"]
+        assert [s.span_id for s in reg.spans] == [1, 2, 3]
+
+    def test_reset_restarts_the_id_sequences(self):
+        reg = MetricsRegistry()
+        with reg.span("session.flow_info"):
+            pass
+        reg.reset()
+        with reg.span("session.flow_info"):
+            pass
+        (rec,) = reg.spans
+        assert rec.trace_id == "t0001" and rec.span_id == 1

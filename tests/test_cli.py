@@ -67,3 +67,69 @@ class TestCli:
     def test_bad_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestTraceCommand:
+    @pytest.fixture()
+    def dump_path(self, tmp_path):
+        """A real flight-recorder dump from a spanned query."""
+        import json
+
+        from repro import obs
+        from repro.obs.flightrec import FlightRecorder
+        from repro.obs.timebase import FixedTimebase
+
+        clock = FixedTimebase()
+        reg = obs.MetricsRegistry(clock=clock)
+        with FlightRecorder(reg, out_dir=tmp_path) as rec:
+            with reg.span("session.topology", detail="full"):
+                with reg.span("collectors.master.delegate", site="cmu"):
+                    clock.advance(0.25)
+                clock.advance(0.05)
+            rec.dump("answer.partial", trace_id="t0001")
+        (path,) = sorted(tmp_path.glob("flightrec-*.json"))
+        assert json.loads(path.read_text())["reason"] == "answer.partial"
+        return path
+
+    def test_waterfall_and_attribution_render(self, dump_path, capsys):
+        assert main(["trace", str(dump_path)]) == 0
+        out = capsys.readouterr().out
+        assert "flight-recorder dump: answer.partial" in out
+        assert "trace t0001" in out
+        assert "session.topology" in out and "#" in out
+        assert "time by layer" in out and "session" in out
+        assert "time by site" in out and "cmu" in out
+
+    def test_trace_id_filter_rejects_unknown(self, dump_path, capsys):
+        assert main(["trace", str(dump_path), "--trace-id", "t9999"]) == 1
+        assert "no spans" in capsys.readouterr().err
+
+    def test_chrome_export(self, dump_path, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "chrome.json"
+        assert main(["trace", str(dump_path), "--chrome", str(out_file)]) == 0
+        doc = json.loads(out_file.read_text())
+        events = doc["traceEvents"]
+        assert all(e["ph"] == "X" for e in events)
+        delegate = next(
+            e for e in events if e["name"] == "collectors.master.delegate"
+        )
+        assert delegate["dur"] == pytest.approx(0.25e6)
+        assert delegate["args"]["site"] == "cmu"
+
+    def test_non_span_json_errors_cleanly(self, tmp_path, capsys):
+        bogus = tmp_path / "x.json"
+        bogus.write_text('{"hello": "world"}')
+        assert main(["trace", str(bogus)]) == 1
+        assert "no span list" in capsys.readouterr().err
+
+    def test_non_json_file_errors_cleanly(self, tmp_path, capsys):
+        bogus = tmp_path / "x.toml"
+        bogus.write_text("[tool]\nname = 'nope'\n")
+        assert main(["trace", str(bogus)]) == 1
+        assert "not JSON" in capsys.readouterr().err
+
+    def test_missing_file_errors_cleanly(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "absent.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
