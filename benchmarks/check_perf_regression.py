@@ -1,0 +1,111 @@
+"""Perf-regression gate for the warm query-rate benchmark (CI).
+
+Re-measures the multi-site warm flow-query workload of
+``test_query_rate.py`` and compares it against the committed
+``benchmarks/out/BENCH_query_rate.json`` snapshot, failing (exit 1)
+when warm per-query cost regresses by more than ``MAX_REGRESSION``.
+
+Absolute wall times are meaningless across machines, so the comparison
+is **machine-normalised**: each fresh optimised batch is paired with a
+fresh *baseline* batch (the serial, uncached configuration the
+snapshot's own baseline used) measured immediately next to it.  The
+per-pair wall speedup ``baseline / optimised`` cancels host speed; the
+gate takes the **median** over alternating-order pairs with the GC
+disabled (and collected between pairs), the same noise discipline as
+``trace_overhead_smoke.py``, and compares it to the snapshot's
+committed wall speedup.  Equivalently: the fresh warm ms/query,
+rescaled onto the snapshot machine via the baseline ratio, must not
+exceed the committed warm ms/query by more than ``MAX_REGRESSION``.
+
+A PR that intentionally changes query-path performance must refresh the
+snapshot (``PYTHONPATH=src python -m pytest benchmarks/test_query_rate.py``)
+and commit the new JSON alongside the change.
+
+Run directly (exit 1 on violation)::
+
+    PYTHONPATH=src python benchmarks/check_perf_regression.py
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import statistics
+import sys
+from pathlib import Path
+
+from test_query_rate import _build_wan, _measure
+
+#: warm cost may grow by at most this fraction vs the committed snapshot
+MAX_REGRESSION = 0.20
+#: adjacent (baseline, optimised) batch pairs; order alternates
+PAIRS = 12
+
+SNAPSHOT = Path(__file__).resolve().parent / "out" / "BENCH_query_rate.json"
+
+
+def _baseline(dep) -> None:
+    """Emulate the pre-optimisation stack: serial fan-out, no memo."""
+    dep.master.rpc.max_parallel = 1
+    dep.modeler.query_cache_ttl_s = 0.0
+
+
+def _optimised(dep) -> None:
+    dep.master.rpc.max_parallel = 8
+    dep.modeler.query_cache_ttl_s = 5.0
+
+
+def fresh_wall_speedup() -> float:
+    w, dep, pairs = _build_wan()
+    # one throwaway batch per configuration to warm code paths
+    for configure in (_baseline, _optimised):
+        configure(dep)
+        _measure(w, dep, pairs, k=5)
+    ratios = []
+    gc.disable()
+    try:
+        for i in range(PAIRS):
+            gc.collect()
+            order = (_baseline, _optimised) if i % 2 == 0 else (_optimised, _baseline)
+            walls = {}
+            for configure in order:
+                configure(dep)
+                walls[configure], _ = _measure(w, dep, pairs)
+            ratios.append(walls[_baseline] / walls[_optimised])
+    finally:
+        gc.enable()
+    return statistics.median(ratios)
+
+
+def main() -> int:
+    snap = json.loads(SNAPSHOT.read_text())
+    committed_speedup = snap["speedup"]["wall"]
+    committed_warm_ms = snap["optimized"]["wall_s_per_query"] * 1e3
+    fresh_speedup = fresh_wall_speedup()
+    # the fresh warm cost, rescaled onto the snapshot machine via the
+    # shared baseline workload
+    normalized_warm_ms = (
+        snap["baseline"]["wall_s_per_query"] * 1e3 / fresh_speedup
+    )
+    limit_ms = committed_warm_ms * (1.0 + MAX_REGRESSION)
+    print(
+        f"committed: {committed_warm_ms:.3f} ms/query warm "
+        f"({committed_speedup:.1f}x over baseline)"
+    )
+    print(
+        f"fresh:     {normalized_warm_ms:.3f} ms/query normalized "
+        f"({fresh_speedup:.1f}x over baseline; median of {PAIRS} paired batches)"
+    )
+    if normalized_warm_ms > limit_ms:
+        print(
+            f"FAIL: warm query cost regressed beyond the "
+            f"{MAX_REGRESSION:.0%} budget ({normalized_warm_ms:.3f} > "
+            f"{limit_ms:.3f} ms/query)"
+        )
+        return 1
+    print(f"OK: within the {MAX_REGRESSION:.0%} regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

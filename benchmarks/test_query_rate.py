@@ -119,6 +119,9 @@ def _build_wan():
     )
     ips = [w.host(f"s{i:02d}", 0).ip for i in range(N_SITES)]
     pairs = [(ips[0], ips[i]) for i in range(1, N_SITES)]
+    # collective patterns repeat pairs (striped transfers); the planner
+    # must merge the duplicate instead of re-deriving its route
+    pairs.append(pairs[0])
     dep.session().flow_info_many(pairs)  # cold pass: discovery + WAN stitching
     return w, dep, pairs
 

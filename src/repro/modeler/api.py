@@ -45,6 +45,7 @@ from repro.netsim.topology import Host, Network
 from repro.collectors.base import Collector, RpcCostModel, TopologyRequest
 from repro.modeler.graph import TopologyGraph
 from repro.modeler.maxmin import FlowPrediction, predict_flows
+from repro.modeler.planner import plan_flow_pairs
 from repro.modeler.simplify import simplify
 
 
@@ -183,12 +184,21 @@ class _CachedFetch:
     would shadow good data).  A degraded response additionally *drops*
     any existing entry for its key — the entry describes a world the
     Master can no longer confirm.
+
+    ``flow_plans`` memoizes resolved flow-query results against this
+    entry's (immutable) graph: key (requested pairs, strict) -> the
+    predictions plus the unroutable-pair layout.  Valid exactly as long
+    as the entry itself — the graph object is replaced, never mutated,
+    on refetch — so a repeated ``flow_info_many`` within the staleness
+    window rebuilds its answers without touching paths or the
+    allocator.
     """
 
     graph: TopologyGraph
     version: int
     fetched_at: float
     meta: _FetchMeta
+    flow_plans: dict = field(default_factory=dict)
 
 
 class Modeler:
@@ -272,7 +282,11 @@ class Modeler:
         with obs.span("modeler.topology_query", detail=detail) as sp:
             obs.counter("modeler.queries", kind="topology").inc()
             ips = [_ip_of(h) for h in hosts]
-            graph, meta = self._fetch(ips, include_dynamics, strict=strict)
+            # "raw" hands the graph itself to the application, which may
+            # mutate it; the derived detail levels only read it.
+            graph, meta = self._fetch(
+                ips, include_dynamics, strict=strict, private=(detail == "raw")
+            )
             if detail == "simplified":
                 graph = simplify(graph, protect=set(ips))
             elif detail == "summary":
@@ -388,6 +402,11 @@ class Modeler:
         Strict mode raises on any unroutable pair (the historical
         API); non-strict mode answers what it can, marking unroutable
         pairs FAILED with zeroed bandwidths and an empty path.
+
+        The batch is planned first (:mod:`repro.modeler.planner`):
+        endpoints collapse into one Master fetch and duplicate pairs
+        resolve their route once, while the joint allocation still sees
+        one flow per requested instance.
         """
         with obs.span("modeler.flow_query") as sp:
             obs.counter("modeler.queries", kind="flow").inc()
@@ -395,37 +414,79 @@ class Modeler:
             own = [
                 (_ip_of(s), _ip_of(d), float(rate)) for s, d, rate in (own_flows or [])
             ]
-            involved = sorted(
-                {ip for pair in ip_pairs for ip in pair}
-                | {ip for s, d, _ in own for ip in (s, d)}
+            plan = plan_flow_pairs(
+                ip_pairs, [ip for s, d, _ in own for ip in (s, d)]
             )
-            graph, meta = self._fetch(involved, include_dynamics=True, strict=strict)
+            # Without own traffic to credit the fetched graph is only
+            # read, so the memoized graph can be served as-is — and the
+            # paths it resolves stay resolved for the next query.
+            graph, meta = self._fetch(
+                list(plan.involved),
+                include_dynamics=True,
+                strict=strict,
+                private=bool(own),
+            )
             if own:
                 self._credit_own_flows(graph, own)
-            if strict:
-                answerable = ip_pairs
-                failed: dict[int, FlowAnswer] = {}
+            # When _fetch served the memoized graph itself (no own
+            # traffic, cache hit or cached miss), resolved predictions
+            # can be memoized right on the entry: the answers are a
+            # pure function of (graph, pairs), and the graph is
+            # replaced, never mutated, on refetch.
+            entry = None
+            if not own:
+                entry = self._query_cache.get((plan.involved, True))
+                if entry is not None and entry.graph is not graph:
+                    entry = None
+            memo_key = (plan.pairs, strict)
+            cached_plan = (
+                entry.flow_plans.get(memo_key) if entry is not None else None
+            )
+            if cached_plan is not None:
+                preds, failed_spec = cached_plan
             else:
-                # Split the request: pairs without a route through what
-                # the collectors could deliver degrade to FAILED answers
-                # instead of poisoning the whole (joint) query.
-                answerable, failed = [], {}
-                for idx, (s, d) in enumerate(ip_pairs):
-                    try:
-                        if graph.has_node(s) and graph.has_node(d):
-                            graph.path(s, d)
-                            answerable.append((s, d))
-                            continue
-                    except TopologyError:
-                        pass
-                    failed[idx] = FlowAnswer(
-                        s, d, 0.0, 0.0, 0.0, 0.0, 0.0, (),
-                        status=QueryStatus.FAILED,
-                        data_age_s=meta.data_age_s,
-                        provenance=meta.provenance,
-                        trace_id=sp.trace_id,
-                    )
-            preds = predict_flows(graph, answerable)
+                # Resolve each unique pair's route once; instances
+                # share it.
+                unique_paths: list[list[str] | None] = []
+                for s, d in plan.unique_pairs:
+                    nodes: list[str] | None = None
+                    if strict:
+                        try:
+                            nodes = graph.path(s, d)
+                        except TopologyError as exc:
+                            raise QueryError(str(exc)) from exc
+                    else:
+                        # Split the request: pairs without a route
+                        # through what the collectors could deliver
+                        # degrade to FAILED answers instead of
+                        # poisoning the whole (joint) query.
+                        try:
+                            if graph.has_node(s) and graph.has_node(d):
+                                nodes = graph.path(s, d)
+                        except TopologyError:
+                            nodes = None
+                    unique_paths.append(nodes)
+                answerable: list[tuple[str, str]] = []
+                failed_spec = []
+                for idx, k in enumerate(plan.instance_of):
+                    if unique_paths[k] is not None:
+                        answerable.append(ip_pairs[idx])
+                    else:
+                        failed_spec.append(idx)
+                preds = predict_flows(graph, answerable)
+                failed_spec = tuple(failed_spec)
+                if entry is not None:
+                    entry.flow_plans[memo_key] = (preds, failed_spec)
+            failed: dict[int, FlowAnswer] = {}
+            for idx in failed_spec:
+                s, d = ip_pairs[idx]
+                failed[idx] = FlowAnswer(
+                    s, d, 0.0, 0.0, 0.0, 0.0, 0.0, (),
+                    status=QueryStatus.FAILED,
+                    data_age_s=meta.data_age_s,
+                    provenance=meta.provenance,
+                    trace_id=sp.trace_id,
+                )
             good = [self._to_answer(p, meta, sp.trace_id) for p in preds]
             if predict:
                 for ans in good:
@@ -501,8 +562,22 @@ class Modeler:
     # -- internals ----------------------------------------------------------
 
     def _fetch(
-        self, ips: list[str], include_dynamics: bool, strict: bool = True
+        self,
+        ips: list[str],
+        include_dynamics: bool,
+        strict: bool = True,
+        private: bool = True,
     ) -> tuple[TopologyGraph, _FetchMeta]:
+        """Topology for ``ips``, served from the memo cache when fresh.
+
+        ``private=True`` returns a copy the caller owns outright (flow
+        queries credit own traffic by mutating edges in place; raw
+        topology answers hand the graph to the application).  Callers
+        that only *read* pass ``private=False`` and share the memoized
+        graph itself — skipping the copy, and letting the shortest
+        paths they resolve accumulate on the cached entry so later
+        queries start warm.
+        """
         self.queries_made += 1
         caching = self.query_cache_ttl_s > 0
         key = (tuple(sorted(ips)), include_dynamics)
@@ -515,9 +590,9 @@ class Modeler:
             ):
                 obs.counter("modeler.query_cache", result="hit").inc()
                 self.net.engine.advance(self.rpc.local_s)
-                # a copy, because flow queries credit own traffic by
-                # mutating edges in place
-                return entry.graph.copy(), entry.meta
+                if private:
+                    return entry.graph.copy(), entry.meta
+                return entry.graph, entry.meta
             obs.counter("modeler.query_cache", result="miss").inc()
         self.net.engine.advance(self.rpc.local_s)
         try:
@@ -561,16 +636,41 @@ class Modeler:
                 self._query_cache[key] = _CachedFetch(
                     resp.graph, resp.graph.version, self.net.now, meta
                 )
-                return resp.graph.copy(), meta
+                if private:
+                    return resp.graph.copy(), meta
+                return resp.graph, meta
             # degraded response: never memoize it, and drop whatever the
             # cache held — it describes a world the collectors can no
             # longer confirm and would otherwise replay after recovery
             self._query_cache.pop(key, None)
         return resp.graph, meta
 
-    def invalidate_query_cache(self) -> None:
-        """Drop memoized responses (e.g. after a known topology change)."""
-        self._query_cache.clear()
+    def invalidate_query_cache(self, sites=None) -> None:
+        """Drop memoized responses (e.g. after a known topology change).
+
+        With ``sites`` (an iterable of site names) the eviction is
+        **scoped**: only entries whose provenance intersects the named
+        sites are dropped — one site's topology delta no longer evicts
+        every memoized answer.  ``None`` keeps the historical
+        flush-everything behaviour.  Scoping is observable on the
+        ``modeler.query_cache`` counter (``result="evicted"`` /
+        ``"survived"``).
+        """
+        if sites is None:
+            self._query_cache.clear()
+            return
+        wanted = set(sites)
+        doomed = [
+            key
+            for key, entry in self._query_cache.items()
+            if wanted & set(entry.meta.provenance)
+        ]
+        for key in doomed:
+            del self._query_cache[key]
+        obs.counter("modeler.query_cache", result="evicted").inc(len(doomed))
+        obs.counter("modeler.query_cache", result="survived").inc(
+            len(self._query_cache)
+        )
 
     @staticmethod
     def _to_answer(

@@ -79,12 +79,32 @@ class TopoEdge:
 class TopologyGraph:
     """Nodes + edges with merge, path, and bottleneck operations.
 
-    Query-path operations are cached against a **mutation version**: a
-    counter bumped by every structural change (``add_node``,
-    ``add_edge``, ``remove_node``, ``merge``).  Shortest paths and the
-    sorted node/edge views are computed once per version and replayed
-    until the next mutation, so the Modeler's repeated per-pair scans
-    over one response graph stop re-running Dijkstra and re-sorting.
+    Query-path operations are cached.  The sorted node/edge views are
+    keyed to a **mutation version** (a counter bumped by every
+    structural change — ``add_node``, ``add_edge``, ``remove_node``,
+    ``merge`` — which downstream caches also use as a validity token).
+    The shortest-path cache is **scope-invalidated** instead of flushed
+    wholesale: each mutation drops only the cached pairs it could
+    affect, so one topology delta no longer re-derives every path the
+    Modeler has already resolved.
+
+    * ``add_node`` and annotation re-adds of an existing edge drop
+      nothing — an isolated new node or a utilization refresh cannot
+      change any hop-count path.
+    * a structurally **new edge** (a, b) drops exactly the pairs a
+      shortest route via that edge could reach: with BFS hop distances
+      ``d_a``/``d_b`` on the new graph, pair (x, y) is dropped iff
+      ``min(d_a[x]+d_b[y], d_b[x]+d_a[y]) + 1 <= len(cached path)``
+      (cached "no path" entries are dropped iff that bound is finite).
+      Survivors are provably byte-identical to a fresh recompute: any
+      changed answer must route via the new edge, which the bound
+      excludes.
+    * ``remove_node`` drops the pairs whose cached path traverses the
+      node, via a reverse index node -> cached pair keys.  A surviving
+      entry is still *a* correct shortest path (deletion cannot create
+      or shorten routes), though an equal-length tie may differ from
+      what a cold recompute would pick.
+
     Edge *annotations* (utilization) may be updated in place without
     bumping the version — hop-count paths do not depend on them.
     """
@@ -93,9 +113,11 @@ class TopologyGraph:
         self._g = nx.Graph()
         self._version = 0
         #: (a, b) -> node path, or None for a cached "no path" result;
-        #: valid only while ``_paths_version == _version``
+        #: scope-invalidated by mutations (see class docstring)
         self._paths_cache: dict[tuple[str, str], list[str] | None] = {}
-        self._paths_version = -1
+        #: reverse index: node id -> keys of cached positive paths
+        #: traversing it (negative entries are not indexed)
+        self._node_pairs: dict[str, set[tuple[str, str]]] = {}
         self._nodes_cache: list[TopoNode] | None = None
         self._edges_cache: list[TopoEdge] | None = None
 
@@ -125,13 +147,17 @@ class TopologyGraph:
 
     def add_edge(self, edge: TopoEdge) -> TopoEdge:
         """Add an edge; both endpoints must exist.  Re-adding replaces
-        annotations (latest measurement wins)."""
+        annotations (latest measurement wins) and invalidates no cached
+        paths — hop-count routes do not read annotations."""
         for end in (edge.a, edge.b):
             if end not in self._g:
                 raise TopologyError(f"edge endpoint {end!r} not in graph")
         self._touch()
         a, b = edge.key()
+        structurally_new = not self._g.has_edge(a, b)
         self._g.add_edge(a, b, data=edge)
+        if structurally_new and self._paths_cache:
+            self._invalidate_paths_for_new_edge(a, b)
         return edge
 
     def merge(self, other: "TopologyGraph") -> None:
@@ -190,7 +216,77 @@ class TopologyGraph:
 
     def remove_node(self, node_id: str) -> None:
         self._touch()
+        if self._paths_cache:
+            before = len(self._paths_cache)
+            for key in self._node_pairs.pop(node_id, set()):
+                self._drop_path_entry(key)
+            self._report_invalidation(before)
         self._g.remove_node(node_id)
+
+    # -- scoped path-cache invalidation ----------------------------------
+
+    def _bfs_hops(self, source: str) -> dict[str, int]:
+        """Hop distance from ``source`` to every reachable node."""
+        dist = {source: 0}
+        frontier = [source]
+        adj = self._g.adj
+        d = 0
+        while frontier:
+            d += 1
+            nxt: list[str] = []
+            for u in frontier:
+                for v in adj[u]:
+                    if v not in dist:
+                        dist[v] = d
+                        nxt.append(v)
+            frontier = nxt
+        return dist
+
+    def _invalidate_paths_for_new_edge(self, a: str, b: str) -> None:
+        """Drop cached pairs a shortest route via new edge (a, b) could
+        serve; see the class docstring for the bound and its proof
+        sketch.  Runs two BFS passes over the post-mutation graph, so a
+        mutation costs O(V + E + cached pairs) instead of re-deriving
+        every dropped pair from scratch later."""
+        dist_a = self._bfs_hops(a)
+        dist_b = self._bfs_hops(b)
+        inf = math.inf
+        before = len(self._paths_cache)
+        doomed: list[tuple[str, str]] = []
+        for key, nodes in self._paths_cache.items():
+            x, y = key
+            dax = dist_a.get(x, inf)
+            day = dist_a.get(y, inf)
+            dbx = dist_b.get(x, inf)
+            dby = dist_b.get(y, inf)
+            via = min(dax + dby, dbx + day) + 1
+            if nodes is None:
+                if via < inf:
+                    doomed.append(key)
+            elif via <= len(nodes) - 1:
+                doomed.append(key)
+        for key in doomed:
+            self._drop_path_entry(key)
+        self._report_invalidation(before)
+
+    def _drop_path_entry(self, key: tuple[str, str]) -> None:
+        nodes = self._paths_cache.pop(key, None)
+        if nodes:
+            for nid in nodes:
+                pairs = self._node_pairs.get(nid)
+                if pairs is not None:
+                    pairs.discard(key)
+                    if not pairs:
+                        del self._node_pairs[nid]
+
+    def _report_invalidation(self, before: int) -> None:
+        survived = len(self._paths_cache)
+        obs.counter("modeler.graph.scoped_invalidation", result="dropped").inc(
+            before - survived
+        )
+        obs.counter("modeler.graph.scoped_invalidation", result="survived").inc(
+            survived
+        )
 
     # -- path operations -------------------------------------------------
 
@@ -199,11 +295,9 @@ class TopologyGraph:
 
         Negative results ("no path") are cached too — the Modeler's
         all-pairs scans hit disconnected pairs as often as connected
-        ones.
+        ones.  Entries survive mutations that cannot affect them
+        (scoped invalidation; see the class docstring).
         """
-        if self._paths_version != self._version:
-            self._paths_cache.clear()
-            self._paths_version = self._version
         key = (a, b) if a <= b else (b, a)
         if key in self._paths_cache:
             cached = self._paths_cache[key]
@@ -217,8 +311,11 @@ class TopologyGraph:
         except (nx.NodeNotFound, nx.NetworkXNoPath):
             self._paths_cache[key] = None
             raise TopologyError(f"no path {a!r} -> {b!r}") from None
-        self._paths_cache[key] = list(found)
-        return list(found)
+        path = list(found)
+        self._paths_cache[key] = path
+        for nid in path:
+            self._node_pairs.setdefault(nid, set()).add(key)
+        return list(path)
 
     def path_edges(self, a: str, b: str) -> list[TopoEdge]:
         nodes = self.path(a, b)
@@ -249,6 +346,13 @@ class TopologyGraph:
                     e.latency_s, e.jitter_s,
                 )
             )
+        # The copy is structurally identical, so every cached path (and
+        # cached "no path") is valid for it too: carry the cache so the
+        # copy does not pay shortest-path derivation again for pairs the
+        # original already resolved.  Path lists are shared (treated as
+        # immutable; ``path()`` always returns a fresh list).
+        out._paths_cache = dict(self._paths_cache)
+        out._node_pairs = {nid: set(keys) for nid, keys in self._node_pairs.items()}
         return out
 
     def __repr__(self) -> str:

@@ -66,6 +66,9 @@ def predict_flows(
 
     ``demands`` caps each flow (default: greedy).  Raises
     :class:`~repro.common.errors.QueryError` if any pair has no path.
+    Route resolution leans on the graph's shortest-path cache, so a
+    planner pass that already checked answerability makes every lookup
+    here a cache hit.
     """
     if demands is None:
         demands = [math.inf] * len(pairs)

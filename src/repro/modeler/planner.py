@@ -1,0 +1,80 @@
+"""Flow-query planning: dedupe and merge overlapping query pairs.
+
+The session API answers many flows at once
+(:meth:`repro.session.RemosSession.flow_info_many`), and collective
+communication patterns repeat themselves: all-to-one reductions share a
+destination, striped transfers repeat whole (src, dst) pairs, neighbour
+exchanges reuse endpoints.  Before any Master delegation the planner
+canonicalises one batch:
+
+* endpoints are deduplicated into one sorted ``involved`` tuple, so a
+  batch costs exactly one fragment fetch no matter how many pairs
+  repeat a host;
+* duplicate (src, dst) pairs are merged into one **unique pair** whose
+  shortest path and answerability are resolved once and fanned back
+  out to every instance.
+
+Planning never changes an answer.  In particular, duplicates are *not*
+collapsed for the allocation itself: k requested instances of the same
+pair are k flows in the joint max-min calculation and legitimately
+split their bottleneck — only the path/fetch work is shared.
+
+Merge effectiveness is observable: ``modeler.planner.pairs`` counts
+``result="unique"`` vs ``result="merged"`` instances per batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro import obs
+
+
+@dataclass(frozen=True)
+class FlowQueryPlan:
+    """One planned ``flow_info_many`` batch."""
+
+    #: requested (src ip, dst ip) pairs, original order
+    pairs: tuple[tuple[str, str], ...]
+    #: deduplicated pairs, first-occurrence order
+    unique_pairs: tuple[tuple[str, str], ...]
+    #: per-instance index into ``unique_pairs``
+    instance_of: tuple[int, ...]
+    #: sorted deduplicated endpoints (plus any extra ips the caller
+    #: declares, e.g. own-flow endpoints) — the Master fetch set
+    involved: tuple[str, ...]
+
+    @property
+    def merged(self) -> int:
+        """Instances answered by another instance's path resolution."""
+        return len(self.pairs) - len(self.unique_pairs)
+
+
+def plan_flow_pairs(
+    ip_pairs: "Iterable[tuple[str, str]]",
+    extra_ips: "Iterable[str]" = (),
+) -> FlowQueryPlan:
+    """Plan one batch of flow-query pairs (see module docstring)."""
+    pairs = tuple(ip_pairs)
+    index: dict[tuple[str, str], int] = {}
+    unique: list[tuple[str, str]] = []
+    instance_of: list[int] = []
+    for pair in pairs:
+        k = index.get(pair)
+        if k is None:
+            k = index[pair] = len(unique)
+            unique.append(pair)
+        instance_of.append(k)
+    involved = sorted({ip for pair in pairs for ip in pair} | set(extra_ips))
+    if unique:
+        obs.counter("modeler.planner.pairs", result="unique").inc(len(unique))
+    merged = len(pairs) - len(unique)
+    if merged:
+        obs.counter("modeler.planner.pairs", result="merged").inc(merged)
+    return FlowQueryPlan(
+        pairs=pairs,
+        unique_pairs=tuple(unique),
+        instance_of=tuple(instance_of),
+        involved=tuple(involved),
+    )

@@ -32,18 +32,32 @@ from __future__ import annotations
 import heapq
 import itertools
 from contextlib import contextmanager
-from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 from repro import obs
 
 
-@dataclass(order=True)
 class _Event:
-    time: float
-    seq: int
-    fn: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    """One scheduled callback.
+
+    Heap entries are ``(time, seq, event)`` tuples rather than rich
+    comparisons on the event object: tuple ordering runs native C
+    float/int comparisons on every sift, which is the hottest code in a
+    dense simulation (the seq tiebreaker is unique, so the event object
+    itself is never compared).
+    """
+
+    __slots__ = ("time", "seq", "fn", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+
+def _entry(ev: _Event) -> "tuple[float, int, _Event]":
+    return (ev.time, ev.seq, ev)
 
 
 class Timer:
@@ -144,7 +158,7 @@ class Engine:
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
-        self._queue: list[_Event] = []
+        self._queue: list[tuple[float, int, _Event]] = []
         self._seq = itertools.count()
         #: number of callbacks dispatched (diagnostics / tests)
         self.dispatched = 0
@@ -167,7 +181,7 @@ class Engine:
         timer = Timer()
         ev = _Event(time, next(self._seq), fn)
         timer._event = ev
-        heapq.heappush(self._queue, ev)
+        heapq.heappush(self._queue, _entry(ev))
         return timer
 
     def after(self, delay: float, fn: Callable[[], None]) -> Timer:
@@ -205,11 +219,11 @@ class Engine:
                 nxt += interval
             ev = _Event(nxt, next(self._seq), lambda: tick_wrapper(nxt))
             timer._event = ev
-            heapq.heappush(self._queue, ev)
+            heapq.heappush(self._queue, _entry(ev))
 
         ev = _Event(first, next(self._seq), lambda: tick_wrapper(first))
         timer._event = ev
-        heapq.heappush(self._queue, ev)
+        heapq.heappush(self._queue, _entry(ev))
         return timer
 
     # -- time consumption inside callbacks -----------------------------
@@ -267,7 +281,7 @@ class Engine:
     def step(self) -> bool:
         """Dispatch the next event.  Returns False if the queue is empty."""
         while self._queue:
-            ev = heapq.heappop(self._queue)
+            ev = heapq.heappop(self._queue)[2]
             if ev.cancelled:
                 continue
             if ev.time > self._now:
@@ -285,7 +299,7 @@ class Engine:
         """
         t0, d0 = self._now, self.dispatched
         while self._queue:
-            ev = self._queue[0]
+            ev = self._queue[0][2]
             if ev.cancelled:
                 heapq.heappop(self._queue)
                 continue
@@ -330,4 +344,4 @@ class Engine:
 
     def pending(self) -> int:
         """Number of live events still queued."""
-        return sum(1 for ev in self._queue if not ev.cancelled)
+        return sum(1 for _, _, ev in self._queue if not ev.cancelled)

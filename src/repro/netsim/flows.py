@@ -18,13 +18,25 @@ Progressive filling (Bertsekas & Gallager): grow all unfrozen flow
 rates at one common level; the first constraint to bind is either a
 flow's demand (freeze that flow) or a link's capacity (freeze every
 unfrozen flow crossing it).  Repeat until all flows are frozen.
+
+The solver itself is a vectorised numpy kernel
+(:func:`max_min_allocation`): flows and channels become index spaces,
+the incidence matrix turns the per-channel active-count and frozen-load
+scans into two matrix-vector products, and each water-level step is a
+handful of array reductions instead of python loops.  The original
+pure-python solver is kept verbatim as
+:func:`max_min_allocation_reference`, the oracle the kernel is
+property-tested against (agreement within 1e-9 across randomised
+path/demand sets).
 """
 
 from __future__ import annotations
 
 import itertools
 import math
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Protocol, Sequence
+
+import numpy as np
 
 from repro import obs
 from repro.common.errors import TopologyError
@@ -33,6 +45,27 @@ from repro.netsim.engine import Timer
 
 if TYPE_CHECKING:
     from repro.netsim.topology import Channel, Host, Network
+
+#: freeze threshold shared by the kernel and the reference solver
+_EPS = 1e-12
+
+#: incidence entries (sum of path lengths) below which the scalar
+#: solver is dispatched instead of the numpy kernel.  Array-op fixed
+#: costs (~100us) dwarf the O(entries x rounds) python loop for small
+#: problems; the crossover sits around a hundred entries.  Equivalence
+#: tests pin this to 0 to force the kernel at every size.
+_KERNEL_MIN_ENTRIES = 128
+
+
+class CapacityLike(Protocol):
+    """What the allocator needs from a constraint: a capacity.
+
+    Satisfied by :class:`~repro.netsim.topology.Channel` (the fluid
+    substrate) and by the Modeler's directed residual constraints
+    (:class:`repro.modeler.maxmin._DirCap`).
+    """
+
+    capacity_bps: float
 
 
 class Flow:
@@ -86,6 +119,17 @@ class FlowManager:
         self.flows: dict[int, Flow] = {}
         #: allocation recomputations performed (diagnostics)
         self.recomputes = 0
+        #: channel registry: id(channel) -> channel, for every channel
+        #: carrying a nonzero aggregate rate under the current
+        #: allocation.  Re-application after a recompute walks the old
+        #: and new allocation's channels only — never every channel in
+        #: the network — so the cost of a flow change scales with the
+        #: traffic it touches, not with topology size.
+        self._alloc_channels: "dict[int, Channel]" = {}
+        #: sim time of the last settle sweep; repeated recomputes within
+        #: one engine tick skip re-settling (zero elapsed time moves no
+        #: counter), batching the per-flow sync cost per tick.
+        self._settled_at = -math.inf
 
     # -- public API ------------------------------------------------------
 
@@ -165,42 +209,56 @@ class FlowManager:
     def _reallocate(self) -> None:
         """Recompute the global max-min fair allocation.
 
-        Channel counters and per-flow progress are synchronised to `now`
-        before any rate changes so integrals remain exact.
+        Per-flow progress is synchronised to `now` before any rate
+        changes so integrals remain exact; the settle sweep runs at most
+        once per engine tick (repeated recomputes at one sim instant
+        cannot move any counter).  Channel aggregates are re-applied
+        incrementally through the channel registry: only channels whose
+        membership or rate actually changed are synced and written.
         """
         now = self.network.now
         self.recomputes += 1
         flows = [f for f in self.flows.values() if f.active]
 
-        # Settle byte accounting at the old rates.
-        touched: set[int] = set()
-        for f in flows:
-            self._settle(f)
-            for ch in f.path:
-                if id(ch) not in touched:
-                    touched.add(id(ch))
-                    ch.sync(now)
+        # Settle byte accounting at the old rates (once per tick).
+        if now != self._settled_at:
+            for f in flows:
+                self._settle(f)
+            self._settled_at = now
 
         rates = max_min_allocation(
             [f.path for f in flows], [f.demand_bps for f in flows]
         )
 
-        # Apply new rates to flows and channel aggregates.
+        # Apply new rates to flows and channel aggregates.  A channel
+        # needs a counter sync exactly when its aggregate rate changes:
+        # candidates are the channels of the new allocation plus the
+        # registry of channels the previous allocation loaded (those
+        # that lost their last flow need zeroing).
         per_channel: dict[int, float] = {}
-        chan_by_id: dict[int, "Channel"] = {}
+        chan_by_id: "dict[int, Channel]" = {}
         for f, r in zip(flows, rates):
             f.rate_bps = r
             for ch in f.path:
-                per_channel[id(ch)] = per_channel.get(id(ch), 0.0) + r
-                chan_by_id[id(ch)] = ch
-        # Channels that lost their last flow need zeroing too: sync all
-        # channels we know about from the previous allocation.
-        for ln in self.network.links:
-            for ch in ln.channels():
-                new_rate = per_channel.get(id(ch), 0.0)
-                if ch.rate_sum != new_rate:
-                    ch.sync(now)
-                    ch.rate_sum = new_rate
+                cid = id(ch)
+                per_channel[cid] = per_channel.get(cid, 0.0) + r
+                chan_by_id[cid] = ch
+        touched = 0
+        for cid, ch in chan_by_id.items():
+            new_rate = per_channel[cid]
+            if ch.rate_sum != new_rate:
+                ch.sync(now)
+                ch.rate_sum = new_rate
+                touched += 1
+        for cid, ch in self._alloc_channels.items():
+            if cid not in chan_by_id and ch.rate_sum != 0.0:
+                ch.sync(now)
+                ch.rate_sum = 0.0
+                touched += 1
+        self._alloc_channels = {
+            cid: ch for cid, ch in chan_by_id.items() if per_channel[cid] != 0.0
+        }
+        obs.counter("netsim.flows.realloc_channels_touched").inc(touched)
 
         # Re-schedule completion events for finite transfers.
         for f in flows:
@@ -230,16 +288,146 @@ class FlowManager:
 
 
 def max_min_allocation(
-    paths: "list[list[Channel]]", demands: list[float]
+    paths: "Sequence[Sequence[CapacityLike]]", demands: Sequence[float]
 ) -> list[float]:
-    """Max-min fair rates for flows over shared channels.
+    """Max-min fair rates for flows over shared channels (numpy kernel).
 
     Progressive filling: all unfrozen flows share one water level; at
     each step the next binding constraint is either a flow demand or a
-    channel capacity.  Runs in O(iterations × flows × path length); the
-    iteration count is bounded by flows + channels.
+    channel capacity.  The per-step scans over channels are expressed as
+    matrix-vector products against the flows×channels incidence matrix,
+    so one step costs a few vectorised reductions regardless of path
+    lengths; the step count is bounded by flows + channels.
 
-    Zero-length paths (src == dst within one node) get their full demand.
+    Zero-length paths (src == dst within one node) get their full
+    demand.  Semantics (freeze thresholds, infinite demands, level
+    fallback) mirror :func:`max_min_allocation_reference` exactly; the
+    two agree within 1e-9 (property-tested).
+
+    Dispatch is size-aware: below :data:`_KERNEL_MIN_ENTRIES` incidence
+    entries the scalar reference solver is faster than numpy's fixed
+    per-op cost and is used directly; the dispatch depends only on
+    problem shape, so any given workload is deterministic about which
+    solver it sees.
+    """
+    n = len(paths)
+    if n == 0:
+        return []
+    if sum(len(p) for p in paths) < _KERNEL_MIN_ENTRIES:
+        return max_min_allocation_reference(paths, demands)
+    rates = [0.0] * n
+
+    # Kernel-local flow index over constrained flows only; zero-length
+    # paths are resolved immediately (full demand).
+    constrained: list[int] = []
+    for i, path in enumerate(paths):
+        if not path:
+            rates[i] = demands[i] if math.isfinite(demands[i]) else math.inf
+        else:
+            constrained.append(i)
+    if not constrained:
+        return rates
+
+    # Unique channels and (channel row, flow column) incidence entries.
+    chan_index: dict[int, int] = {}
+    caps: list[float] = []
+    rows: list[int] = []
+    cols: list[int] = []
+    for k, i in enumerate(constrained):
+        for ch in paths[i]:
+            cid = id(ch)
+            row = chan_index.get(cid)
+            if row is None:
+                row = chan_index[cid] = len(caps)
+                caps.append(ch.capacity_bps)
+            rows.append(row)
+            cols.append(k)
+
+    with obs.span("netsim.maxmin.kernel"):
+        nf = len(constrained)
+        nc = len(caps)
+        # bincount over flattened (row, col) indices builds the dense
+        # incidence matrix far faster than np.add.at for small problems
+        flat = np.asarray(rows, dtype=np.intp) * nf + np.asarray(cols, dtype=np.intp)
+        incidence = (
+            np.bincount(flat, minlength=nc * nf).reshape(nc, nf).astype(float)
+        )
+        cap = np.asarray(caps, dtype=float)
+        demand = np.asarray([demands[i] for i in constrained], dtype=float)
+        rate = np.zeros(nf)
+        frozen = np.zeros(nf, dtype=bool)
+        level = 0.0
+        rounds = 0
+        for _ in range(nf + nc + 1):
+            unfrozen = ~frozen
+            if not bool(unfrozen.any()):
+                break
+            rounds += 1
+            # Next demand bind.
+            delta_demand = float(np.min(demand[unfrozen])) - level
+            # Next capacity bind (np.divide's where-mask keeps channels
+            # with no unfrozen members out of contention without
+            # tripping warnings on 0/0).
+            active = incidence @ unfrozen.astype(float)
+            frozen_load = incidence @ np.where(frozen, rate, 0.0)
+            has_active = active > 0.0
+            headroom = np.divide(
+                cap - frozen_load - level * active,
+                active,
+                out=np.full(nc, math.inf),
+                where=has_active,
+            )
+            delta_cap = (
+                float(np.min(headroom[has_active])) if bool(has_active.any()) else math.inf
+            )
+            delta = min(delta_demand, delta_cap)
+            if not math.isfinite(delta):
+                # Only infinite demands remain and no capacity binds: the
+                # paths must be capacity-free (impossible for real links).
+                rate[unfrozen] = math.inf
+                frozen[unfrozen] = True
+                break
+            level += max(delta, 0.0)
+            # Freeze at binding constraints: demands first, then every
+            # unfrozen flow crossing a saturated channel.
+            at_demand = unfrozen & (demand - level <= _EPS)
+            rate = np.where(at_demand, demand, rate)
+            frozen = frozen | at_demand
+            unfrozen = ~frozen
+            active = incidence @ unfrozen.astype(float)
+            frozen_load = incidence @ np.where(frozen, rate, 0.0)
+            has_active = active > 0.0
+            headroom = np.divide(
+                cap - frozen_load - level * active,
+                active,
+                out=np.full(nc, math.inf),
+                where=has_active,
+            )
+            saturated = has_active & (headroom <= _EPS)
+            if bool(saturated.any()):
+                members = (incidence[saturated].sum(axis=0) > 0.0) & unfrozen
+                rate = np.where(members, level, rate)
+                frozen = frozen | members
+        leftover = ~frozen
+        if bool(leftover.any()):
+            rate = np.where(leftover, np.minimum(level, demand), rate)
+
+    for k, i in enumerate(constrained):
+        rates[i] = float(rate[k])
+    obs.histogram("netsim.maxmin.rounds").observe(rounds)
+    return rates
+
+
+def max_min_allocation_reference(
+    paths: "Sequence[Sequence[CapacityLike]]", demands: Sequence[float]
+) -> list[float]:
+    """Pure-python progressive filling: the kernel's reference oracle.
+
+    This is the original loop-over-dicts solver, kept verbatim as
+    ground truth for equivalence tests against the vectorised
+    :func:`max_min_allocation` — and as that function's small-problem
+    fast path.  Runs in O(iterations × flows × path length); the
+    iteration count is bounded by flows + channels.
     """
     n = len(paths)
     if n == 0:
@@ -297,7 +485,7 @@ def max_min_allocation(
         level += delta
         # Freeze at binding constraints.
         for i in unfrozen:
-            if demands[i] - level <= 1e-12:
+            if demands[i] - level <= _EPS:
                 rates[i] = demands[i]
                 frozen[i] = True
         for cid, members in chan_flows.items():
@@ -306,7 +494,7 @@ def max_min_allocation(
                 continue
             frozen_load = sum(rates[i] for i in members if frozen[i])
             residual = chan_cap[cid] - frozen_load - level * len(active)
-            if residual / len(active) <= 1e-12:
+            if residual / len(active) <= _EPS:
                 for i in active:
                     rates[i] = level
                     frozen[i] = True

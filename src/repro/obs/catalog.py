@@ -21,6 +21,7 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "netsim.engine.queue_depth",
         "netsim.engine.sim_advance_s",
         "netsim.engine.sim_time_s",
+        "netsim.flows.realloc_channels_touched",
         "netsim.maxmin.rounds",
         # -- snmp ------------------------------------------------------
         "snmp.agent.dropped",
@@ -57,8 +58,10 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "master.fragment_timeouts",
         # -- modeler / query path --------------------------------------
         "modeler.graph.path_cache",
+        "modeler.graph.scoped_invalidation",
         "modeler.maxmin.constraints",
         "modeler.maxmin.flows",
+        "modeler.planner.pairs",
         "modeler.queries",
         "modeler.query_cache",
         "modeler.simplify.edge_reduction",
@@ -94,6 +97,8 @@ SPAN_NAMES: frozenset[str] = frozenset(
         # -- modeler ---------------------------------------------------
         "modeler.flow_query",
         "modeler.maxmin",
+        # -- netsim ----------------------------------------------------
+        "netsim.maxmin.kernel",
         "modeler.node_query",
         "modeler.simplify",
         "modeler.topology_query",

@@ -131,9 +131,14 @@ class RemosSession:
 
     # -- plumbing ------------------------------------------------------
 
-    def invalidate_cache(self) -> None:
-        """Drop the Modeler's memoized Master responses."""
-        self.modeler.invalidate_query_cache()
+    def invalidate_cache(self, sites=None) -> None:
+        """Drop the Modeler's memoized Master responses.
+
+        Pass ``sites`` (site names) to scope the eviction to answers
+        that actually depended on those sites; other memoized answers
+        survive.
+        """
+        self.modeler.invalidate_query_cache(sites)
 
     def __repr__(self) -> str:
         return f"RemosSession({self.modeler!r})"

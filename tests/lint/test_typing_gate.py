@@ -24,7 +24,12 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 #: must mirror the module= list of the strict [[tool.mypy.overrides]]
 STRICT_FILES = (
     sorted((REPO_ROOT / "src" / "repro" / "common").rglob("*.py"))
-    + [REPO_ROOT / "src" / "repro" / "modeler" / "graph.py"]
+    + [
+        REPO_ROOT / "src" / "repro" / "modeler" / "graph.py",
+        REPO_ROOT / "src" / "repro" / "modeler" / "maxmin.py",
+        REPO_ROOT / "src" / "repro" / "modeler" / "planner.py",
+        REPO_ROOT / "src" / "repro" / "netsim" / "flows.py",
+    ]
     + sorted((REPO_ROOT / "src" / "repro" / "obs").rglob("*.py"))
 )
 
@@ -35,6 +40,9 @@ STRICT_MODULES = [
     "repro.common.status",
     "repro.common.units",
     "repro.modeler.graph",
+    "repro.modeler.maxmin",
+    "repro.modeler.planner",
+    "repro.netsim.flows",
     "repro.obs",
     "repro.obs.catalog",
     "repro.obs.export",

@@ -1,0 +1,84 @@
+"""Flow-query planning: dedupe/merge of ``flow_info_many`` batches.
+
+The planner shares path/fetch work between repeated pairs but must not
+change any answer — k requested instances of one pair stay k flows in
+the joint max-min and legitimately split their bottleneck.
+"""
+
+import pytest
+
+from repro import obs
+from repro.deploy import deploy_lan
+from repro.modeler.planner import plan_flow_pairs
+from repro.netsim.builders import build_switched_lan
+
+
+class TestPlan:
+    def test_dedup_and_instance_map(self):
+        plan = plan_flow_pairs([("a", "b"), ("c", "d"), ("a", "b")])
+        assert plan.pairs == (("a", "b"), ("c", "d"), ("a", "b"))
+        assert plan.unique_pairs == (("a", "b"), ("c", "d"))
+        assert plan.instance_of == (0, 1, 0)
+        assert plan.merged == 1
+        assert plan.involved == ("a", "b", "c", "d")
+
+    def test_directions_are_distinct(self):
+        # (a, b) and (b, a) are different questions (per-direction
+        # utilization); the planner must not merge them.
+        plan = plan_flow_pairs([("a", "b"), ("b", "a")])
+        assert plan.unique_pairs == (("a", "b"), ("b", "a"))
+        assert plan.merged == 0
+
+    def test_extra_ips_fold_into_involved(self):
+        plan = plan_flow_pairs([("a", "b")], extra_ips=["z", "a"])
+        assert plan.involved == ("a", "b", "z")
+
+    def test_counters(self):
+        with obs.scoped_registry() as reg:
+            plan_flow_pairs([("a", "b"), ("a", "b"), ("a", "b"), ("c", "d")])
+            snap = obs.export.snapshot(reg)
+        c = snap["counters"]
+        assert c["modeler.planner.pairs{result=unique}"] == 2
+        assert c["modeler.planner.pairs{result=merged}"] == 2
+
+    def test_empty_batch_emits_nothing(self):
+        with obs.scoped_registry() as reg:
+            plan = plan_flow_pairs([])
+            snap = obs.export.snapshot(reg)
+        assert plan.pairs == ()
+        assert plan.involved == ()
+        assert "modeler.planner.pairs{result=unique}" not in snap["counters"]
+
+
+class TestMergedAnswers:
+    @pytest.fixture
+    def lan_dep(self):
+        lan = build_switched_lan(8, fanout=4)
+        dep = deploy_lan(lan)
+        dep.session().flow_info(lan.hosts[0], lan.hosts[7])  # warm discovery
+        return lan, dep
+
+    def test_duplicate_pair_still_splits_bandwidth(self, lan_dep):
+        # Merging shares the route derivation, not the allocation: two
+        # instances of one pair are two flows in the joint max-min and
+        # each gets half of what a single instance would.
+        lan, dep = lan_dep
+        pair = (lan.hosts[0], lan.hosts[7])
+        single = dep.session().flow_info_many([pair])
+        double = dep.session().flow_info_many([pair, pair])
+        assert len(double) == 2
+        assert double[0].available_bps == pytest.approx(
+            single[0].available_bps / 2
+        )
+        assert double[1].available_bps == double[0].available_bps
+        assert double[0].path == single[0].path == double[1].path
+
+    def test_session_batch_reports_merge(self, lan_dep):
+        lan, dep = lan_dep
+        pair = (lan.hosts[0], lan.hosts[7])
+        with obs.scoped_registry() as reg:
+            dep.session().flow_info_many([pair, pair, pair])
+            snap = obs.export.snapshot(reg)
+        c = snap["counters"]
+        assert c["modeler.planner.pairs{result=unique}"] == 1
+        assert c["modeler.planner.pairs{result=merged}"] == 2

@@ -11,8 +11,9 @@ import dataclasses
 import pytest
 
 from repro import obs
-from repro.netsim.builders import build_switched_lan
-from repro.deploy import deploy_lan
+from repro.common.units import MBPS
+from repro.netsim.builders import SiteSpec, build_multisite_wan, build_switched_lan
+from repro.deploy import deploy_lan, deploy_wan
 
 
 @pytest.fixture
@@ -126,5 +127,61 @@ class TestStaleness:
         with obs.scoped_registry() as reg:
             dep.modeler.flow_query(lan.hosts[0], lan.hosts[7])
             dep.modeler.flow_query(lan.hosts[0], lan.hosts[3])
+            snap = obs.export.snapshot(reg)
+        assert _hit_miss(snap) == (0, 2)
+
+
+class TestSiteScopedInvalidation:
+    """``invalidate_cache(sites=...)`` evicts only entries whose
+    provenance intersects the named sites; other memoized answers keep
+    serving hits."""
+
+    @pytest.fixture
+    def wan_dep(self):
+        w = build_multisite_wan(
+            [
+                SiteSpec(f"s{i:02d}", access_bps=10 * MBPS, n_hosts=2)
+                for i in range(4)
+            ]
+        )
+        dep = deploy_wan(w)
+        dep.modeler.query_cache_ttl_s = 600.0
+        pair_a = (w.host("s00", 0).ip, w.host("s01", 0).ip)
+        pair_b = (w.host("s02", 0).ip, w.host("s03", 0).ip)
+        # fill both entries (discovery + memoisation)
+        dep.session().flow_info_many([pair_a])
+        dep.session().flow_info_many([pair_b])
+        return dep, pair_a, pair_b
+
+    def test_scoped_eviction_spares_other_sites(self, wan_dep):
+        dep, pair_a, pair_b = wan_dep
+        with obs.scoped_registry() as reg:
+            dep.session().invalidate_cache(sites=["s02"])
+            dep.session().flow_info_many([pair_a])  # untouched: hit
+            dep.session().flow_info_many([pair_b])  # evicted: refetch
+            snap = obs.export.snapshot(reg)
+        c = snap["counters"]
+        assert c["modeler.query_cache{result=evicted}"] == 1
+        assert c["modeler.query_cache{result=survived}"] == 1
+        assert _hit_miss(snap) == (1, 1)
+
+    def test_unknown_site_evicts_nothing(self, wan_dep):
+        dep, pair_a, pair_b = wan_dep
+        with obs.scoped_registry() as reg:
+            dep.session().invalidate_cache(sites=["nowhere"])
+            dep.session().flow_info_many([pair_a])
+            dep.session().flow_info_many([pair_b])
+            snap = obs.export.snapshot(reg)
+        c = snap["counters"]
+        assert c["modeler.query_cache{result=evicted}"] == 0
+        assert c["modeler.query_cache{result=survived}"] == 2
+        assert _hit_miss(snap) == (2, 0)
+
+    def test_none_still_flushes_everything(self, wan_dep):
+        dep, pair_a, pair_b = wan_dep
+        with obs.scoped_registry() as reg:
+            dep.session().invalidate_cache()
+            dep.session().flow_info_many([pair_a])
+            dep.session().flow_info_many([pair_b])
             snap = obs.export.snapshot(reg)
         assert _hit_miss(snap) == (0, 2)

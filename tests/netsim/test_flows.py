@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import obs
 from repro.common.units import MBPS
 from repro.netsim.builders import build_dumbbell, build_multisite_wan, SiteSpec
 from repro.netsim.flows import max_min_allocation
@@ -225,6 +226,55 @@ class TestFiniteTransfers:
         d.net.engine.run_until(3.0)
         d.net.flows.stop_flow(f)
         assert f.bytes_done == pytest.approx(8e6 * 3 / 8)
+
+
+class TestIncrementalReallocation:
+    """Re-applying an allocation walks only the channels it touches —
+    never every channel in the network (the old O(all-links) sweep).
+    ``netsim.flows.realloc_channels_touched`` counts synced channels and
+    is the recompute-cost witness."""
+
+    @staticmethod
+    def _wan():
+        w = build_multisite_wan(
+            [
+                SiteSpec(f"s{i}", access_bps=10 * MBPS, n_hosts=2)
+                for i in range(6)
+            ]
+        )
+        return w, 2 * len(w.net.links)  # every link is two directed channels
+
+    def test_start_touches_only_path_channels(self):
+        w, total_channels = self._wan()
+        with obs.scoped_registry() as reg:
+            f = w.net.flows.start_flow(w.host("s0", 0), w.host("s1", 0))
+            snap = obs.export.snapshot(reg)
+        touched = snap["counters"]["netsim.flows.realloc_channels_touched"]
+        assert touched == len(f.path)
+        assert touched < total_channels, "sweep must not visit idle channels"
+
+    def test_stop_zeroes_only_path_channels(self):
+        w, total_channels = self._wan()
+        f = w.net.flows.start_flow(w.host("s0", 0), w.host("s1", 0))
+        with obs.scoped_registry() as reg:
+            w.net.flows.stop_flow(f)
+            snap = obs.export.snapshot(reg)
+        touched = snap["counters"]["netsim.flows.realloc_channels_touched"]
+        assert touched == len(f.path)
+        assert touched < total_channels
+        assert all(ch.rate_sum == 0.0 for ch in f.path)
+
+    def test_disjoint_flow_does_not_touch_other_paths(self):
+        # A recompute triggered by a flow on s2<->s3 re-syncs its own
+        # path; the established s0<->s1 flow's rate is unchanged, so its
+        # channels are not written again.
+        w, _ = self._wan()
+        f1 = w.net.flows.start_flow(w.host("s0", 0), w.host("s1", 0))
+        with obs.scoped_registry() as reg:
+            f2 = w.net.flows.start_flow(w.host("s2", 0), w.host("s3", 0))
+            snap = obs.export.snapshot(reg)
+        touched = snap["counters"]["netsim.flows.realloc_channels_touched"]
+        assert touched == len(set(map(id, f2.path)) - set(map(id, f1.path)))
 
 
 class TestWanSharing:
