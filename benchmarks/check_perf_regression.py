@@ -17,9 +17,19 @@ committed wall speedup.  Equivalently: the fresh warm ms/query,
 rescaled onto the snapshot machine via the baseline ratio, must not
 exceed the committed warm ms/query by more than ``MAX_REGRESSION``.
 
+A second gate covers the Master fan-out path, flat *and* sharded: it
+re-measures the 16-site all-sites query from
+``test_master_scalability.py`` in **simulated** seconds — deterministic
+on any host, so no machine normalisation is needed — and compares
+against the committed ``BENCH_master_scalability.json`` snapshot.  A
+drift beyond ``SHARDED_TOLERANCE`` means the RPC cost model, the
+overlap accounting, or the sharded delegation path changed; either fix
+the regression or refresh the snapshot deliberately.
+
 A PR that intentionally changes query-path performance must refresh the
-snapshot (``PYTHONPATH=src python -m pytest benchmarks/test_query_rate.py``)
-and commit the new JSON alongside the change.
+snapshots (``PYTHONPATH=src python -m pytest benchmarks/test_query_rate.py
+benchmarks/test_master_scalability.py``) and commit the new JSON
+alongside the change.
 
 Run directly (exit 1 on violation)::
 
@@ -40,8 +50,16 @@ from test_query_rate import _build_wan, _measure
 MAX_REGRESSION = 0.20
 #: adjacent (baseline, optimised) batch pairs; order alternates
 PAIRS = 12
+#: sim-time drift allowed on the fan-out gate; the measurement is
+#: deterministic, so this only buys slack for benign cost-model tweaks
+SHARDED_TOLERANCE = 0.10
+#: site count the fan-out gate re-measures (the steepest committed row)
+GATE_SITES = 16
 
 SNAPSHOT = Path(__file__).resolve().parent / "out" / "BENCH_query_rate.json"
+SHARDED_SNAPSHOT = (
+    Path(__file__).resolve().parent / "out" / "BENCH_master_scalability.json"
+)
 
 
 def _baseline(dep) -> None:
@@ -77,6 +95,54 @@ def fresh_wall_speedup() -> float:
     return statistics.median(ratios)
 
 
+def sharded_fanout_gate() -> int:
+    """Gate the 16-site fan-out cost, flat vs sharded, in sim seconds."""
+    from repro.collectors.sharding import ShardingConfig
+    from repro.common.units import MBPS
+    from repro.deploy import deploy_wan
+    from repro.netsim.builders import SiteSpec, build_multisite_wan
+
+    from test_master_scalability import BENCH_CONFIG, FANOUT_SHARDS, _cold_warm
+
+    snap = json.loads(SHARDED_SNAPSHOT.read_text())["by_sites"][str(GATE_SITES)]
+    fresh = {}
+    for plane, sharding in (
+        ("flat", None),
+        ("sharded", ShardingConfig(n_shards=FANOUT_SHARDS)),
+    ):
+        w = build_multisite_wan(
+            [SiteSpec(f"s{i:02d}", access_bps=10 * MBPS, n_hosts=2)
+             for i in range(GATE_SITES)]
+        )
+        dep = deploy_wan(w, bench_config=BENCH_CONFIG, sharding=sharding)
+        ips = [w.host(f"s{i:02d}", 0).ip for i in range(GATE_SITES)]
+        cold_s, warm_s, _ = _cold_warm(w, dep, ips)
+        fresh[plane] = {"cold_s": cold_s, "warm_s": warm_s}
+
+    checks = [
+        ("flat cold", fresh["flat"]["cold_s"], snap["cold_s"]),
+        ("flat warm", fresh["flat"]["warm_s"], snap["warm_s"]),
+        ("sharded cold", fresh["sharded"]["cold_s"], snap["sharded_cold_s"]),
+        ("sharded warm", fresh["sharded"]["warm_s"], snap["sharded_warm_s"]),
+    ]
+    rc = 0
+    for label, got_s, committed_s in checks:
+        limit_s = committed_s * (1.0 + SHARDED_TOLERANCE)
+        if got_s > limit_s:
+            print(
+                f"FAIL: {GATE_SITES}-site {label} query regressed "
+                f"({got_s:.4f} > {limit_s:.4f} sim-s; committed "
+                f"{committed_s:.4f})"
+            )
+            rc = 1
+        else:
+            print(
+                f"OK: {GATE_SITES}-site {label} {got_s:.4f} sim-s "
+                f"(committed {committed_s:.4f}, +{SHARDED_TOLERANCE:.0%} budget)"
+            )
+    return rc
+
+
 def main() -> int:
     snap = json.loads(SNAPSHOT.read_text())
     committed_speedup = snap["speedup"]["wall"]
@@ -96,15 +162,17 @@ def main() -> int:
         f"fresh:     {normalized_warm_ms:.3f} ms/query normalized "
         f"({fresh_speedup:.1f}x over baseline; median of {PAIRS} paired batches)"
     )
+    rc = 0
     if normalized_warm_ms > limit_ms:
         print(
             f"FAIL: warm query cost regressed beyond the "
             f"{MAX_REGRESSION:.0%} budget ({normalized_warm_ms:.3f} > "
             f"{limit_ms:.3f} ms/query)"
         )
-        return 1
-    print(f"OK: within the {MAX_REGRESSION:.0%} regression budget")
-    return 0
+        rc = 1
+    else:
+        print(f"OK: within the {MAX_REGRESSION:.0%} regression budget")
+    return rc | sharded_fanout_gate()
 
 
 if __name__ == "__main__":

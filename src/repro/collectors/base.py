@@ -41,6 +41,17 @@ class TopologyRequest:
     #: include dynamic utilization data (needs counter history)
     include_dynamics: bool = True
     anchor_ip: str | None = None
+    #: the requester is itself a Master stitching multiple sites: the
+    #: answering master must anchor every site fragment at its border
+    #: even when it only sees one site of the wider query (sharded
+    #: delegation; collectors without border knowledge ignore this)
+    anchor_sites: bool = False
+    #: stitch multi-site fragments with WAN measurements (default).
+    #: A delegating Master above sets False to claim the stitching for
+    #: itself: benchmark probes inject real traffic, so exactly one
+    #: tier must run them — serially, on a monotonic clock — for
+    #: answers to stay byte-identical to the flat Master's
+    stitch: bool = True
 
     def __post_init__(self) -> None:
         if not self.node_ips:

@@ -36,6 +36,12 @@ class CollectorDirectory:
     def __init__(self) -> None:
         self._registrations: list[Registration] = []
         self._benchmarks: dict[str, BenchmarkCollector] = {}
+        #: longest-prefix index: prefix length -> {masked address int ->
+        #: registration}; first registration of a prefix wins, matching
+        #: the historical linear scan's tie-break
+        self._index: dict[int, dict[int, Registration]] = {}
+        #: (prefixlen, netmask int) pairs, most specific first
+        self._masks: list[tuple[int, int]] = []
 
     # -- registration -------------------------------------------------------
 
@@ -53,6 +59,14 @@ class CollectorDirectory:
             remote,
         )
         self._registrations.append(reg)
+        for p in reg.prefixes:
+            self._index.setdefault(p.prefixlen, {}).setdefault(
+                p.network_address.value, reg
+            )
+        self._masks = [
+            (plen, (0xFFFFFFFF << (32 - plen)) & 0xFFFFFFFF if plen else 0)
+            for plen in sorted(self._index, reverse=True)
+        ]
         return reg
 
     def register_benchmark(self, bench: BenchmarkCollector) -> None:
@@ -61,16 +75,18 @@ class CollectorDirectory:
     # -- lookup ---------------------------------------------------------------
 
     def lookup(self, ip: IPv4Address | str) -> Registration:
-        """Longest-prefix match over all registrations."""
-        ip = IPv4Address(ip)
-        best: tuple[int, Registration] | None = None
-        for reg in self._registrations:
-            for p in reg.prefixes:
-                if ip in p and (best is None or p.prefixlen > best[0]):
-                    best = (p.prefixlen, reg)
-        if best is None:
-            raise UnknownHostError(f"no collector covers {ip}")
-        return best[1]
+        """Longest-prefix match over all registrations.
+
+        Indexed: one dict probe per distinct prefix length instead of a
+        scan over every registration, so lookup cost stays flat as the
+        directory grows to thousands of sites.
+        """
+        value = IPv4Address(ip).value
+        for plen, mask in self._masks:
+            reg = self._index[plen].get(value & mask)
+            if reg is not None:
+                return reg
+        raise UnknownHostError(f"no collector covers {IPv4Address(ip)}")
 
     def benchmark_for(self, site: str) -> BenchmarkCollector | None:
         return self._benchmarks.get(site)

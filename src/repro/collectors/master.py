@@ -23,6 +23,8 @@ revealing that the response was obtained from multiple collectors"
 from __future__ import annotations
 
 from collections import defaultdict
+from collections.abc import Iterable, Iterator
+from typing import Any
 
 from repro import obs
 from repro.common.errors import (
@@ -38,6 +40,7 @@ from repro.collectors.base import (
     Collector,
     HistoryRequest,
     HistoryResponse,
+    PairMeasurement,
     RpcCostModel,
     TopologyRequest,
     TopologyResponse,
@@ -46,6 +49,12 @@ from repro.collectors.directory import CollectorDirectory, Registration
 from repro.modeler.graph import TopoEdge, TopoNode, TopologyGraph
 
 log = obs.get_logger(__name__)
+
+#: last-known-good fragment cache shapes (see MasterCollector._lkg)
+LkgKey = tuple[int, tuple[str, ...]]
+LkgEntry = tuple[TopologyGraph, float, dict[str, str], tuple[str, ...]]
+#: (values, variances) series pair from a streaming predictor
+ForecastSeries = tuple[Any, Any]
 
 
 class MasterCollector(Collector):
@@ -73,7 +82,7 @@ class MasterCollector(Collector):
         #: last-known-good fragments: (id(reg), requested ips) ->
         #: (graph copy, fetched_at, anchors, unresolved) — served,
         #: marked STALE, when a site stops answering
-        self._lkg: dict[tuple, tuple] = {}
+        self._lkg: dict[LkgKey, LkgEntry] = {}
 
     def covers(self, ip: IPv4Address) -> bool:
         try:
@@ -84,8 +93,37 @@ class MasterCollector(Collector):
 
     def topology(self, request: TopologyRequest) -> TopologyResponse:
         """Answer a query (partition / delegate / merge, as a span)."""
+        self.check_alive()
         with obs.span("collectors.master.topology", collector=self.name):
             return self._topology(request)
+
+    def iter_masters(self) -> Iterator[MasterCollector]:
+        """This master plus any subordinate masters (sharded planes)."""
+        yield self
+
+    def invalidate_sites(self, sites: Iterable[str] | None = None) -> None:
+        """Drop survival state (LKG fragments, quarantine marks) for the
+        named sites — e.g. after a known topology change — or all state
+        when ``sites`` is None.  The next query re-probes live."""
+        if sites is None:
+            dropped = len(self._lkg)
+            self._lkg.clear()
+            self._quarantine.clear()
+        else:
+            wanted = set(sites)
+            doomed_regs = {
+                id(reg)
+                for reg in self.directory.registrations()
+                if reg.site in wanted
+            }
+            doomed = [k for k in self._lkg if k[0] in doomed_regs]
+            for key in doomed:
+                del self._lkg[key]
+            for rid in [r for r in self._quarantine if r in doomed_regs]:
+                del self._quarantine[rid]
+            dropped = len(doomed)
+        if dropped:
+            obs.counter("collectors.master.lkg_invalidated").inc(dropped)
 
     def _topology(self, request: TopologyRequest) -> TopologyResponse:
         self.queries_served += 1
@@ -117,7 +155,7 @@ class MasterCollector(Collector):
         pdu_cost = 0
         merge_wall_s = 0.0
         data_age_s = 0.0
-        multi_site = len(groups) > 1
+        multi_site = len(groups) > 1 or request.anchor_sites
 
         # 2. Delegate each group to its collector.  Fragments go out
         # concurrently: the master pays a small serial dispatch cost per
@@ -129,7 +167,13 @@ class MasterCollector(Collector):
         order = sorted(groups, key=lambda k: regs[k].site)
         group_anchor: dict[int, str | None] = {}
         subs: dict[int, TopologyResponse | None] = {}
-        self.net.engine.advance(self.rpc.dispatch_s * len(order))
+        # NB: the per-fragment dispatch cost is charged *after* the
+        # fan-out (on the reply path), not before.  Charging it first
+        # would shift every sub-collector's measurement instant by
+        # ``dispatch_s * len(order)`` — a query-width-dependent skew
+        # that makes counter windows (and thus utilization floats)
+        # differ between delegation topologies serving the same query.
+        # Totals are identical either way; measurement times are not.
         with self.net.engine.overlap(self.rpc.max_parallel) as ov:
             for key in order:
                 reg = regs[key]
@@ -147,6 +191,7 @@ class MasterCollector(Collector):
                         subs[key], site_status[reg.site] = self._delegate(
                             reg, groups[key], anchor, request
                         )
+        self.net.engine.advance(self.rpc.dispatch_s * len(order))
         obs.histogram("collectors.master.overlap_saved_s").observe(ov.saved_s)
 
         for key in order:
@@ -169,8 +214,9 @@ class MasterCollector(Collector):
                 site_anchor_node[reg.site] = sub.anchors[anchor]
                 self._anchor_sites[sub.anchors[anchor]] = reg.site
 
-        # 3. Stitch sites together with benchmark measurements.
-        if multi_site:
+        # 3. Stitch sites together with benchmark measurements (unless
+        # a delegating master above claimed the stitching for itself).
+        if multi_site and request.stitch:
             sites = sorted(site_anchor_node)
             for i in range(len(sites)):
                 for j in range(i + 1, len(sites)):
@@ -185,9 +231,9 @@ class MasterCollector(Collector):
 
         obs.histogram("collectors.master.merge_wall_s").observe(merge_wall_s)
         obs.histogram("collectors.master.query_pdus").observe(pdu_cost)
-        unresolved = tuple(dict.fromkeys(unresolved))
+        unresolved_t = tuple(dict.fromkeys(unresolved))
         status = combine(s.status for s in site_status.values())
-        missed = set(unresolved) & set(request.node_ips)
+        missed = set(unresolved_t) & set(request.node_ips)
         if missed:
             if len(missed) == len(request.node_ips):
                 status = QueryStatus.FAILED
@@ -195,7 +241,7 @@ class MasterCollector(Collector):
                 status = combine([status, QueryStatus.PARTIAL])
         return TopologyResponse(
             graph=merged,
-            unresolved=unresolved,
+            unresolved=unresolved_t,
             pdu_cost=pdu_cost,
             anchors=anchors,
             status=status,
@@ -330,7 +376,7 @@ class MasterCollector(Collector):
             stat,
         )
 
-    def _measure_direction(self, src_site: str, dst_site: str):
+    def _measure_direction(self, src_site: str, dst_site: str) -> PairMeasurement | None:
         """Benchmark measurement src -> dst, if a collector provides it."""
         bench = self.directory.benchmark_for(src_site)
         if bench is None or dst_site not in bench.peers:
@@ -438,11 +484,13 @@ class MasterCollector(Collector):
                 return True
         return False
 
-    def forecast_edge(self, request: HistoryRequest, horizon: int):
+    def forecast_edge(
+        self, request: HistoryRequest, horizon: int
+    ) -> ForecastSeries | None:
         """Streaming forecast from whichever collector predicts the
         edge (the §2.3 shared-prediction path); None when no streaming
         predictor covers it."""
-        out = None
+        out: ForecastSeries | None = None
         with self.net.engine.overlap(self.rpc.max_parallel) as ov:
             for reg in self.directory.registrations():
                 fn = getattr(reg.collector, "forecast_edge", None)

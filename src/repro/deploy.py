@@ -82,6 +82,26 @@ class RemosDeployment:
 
         return RemosSession(self.modeler)
 
+    def shard(self, config=None):
+        """Replace the flat Master with a sharded Master hierarchy.
+
+        Builds a :class:`~repro.collectors.sharding.ShardedMaster` over
+        the existing directory (same collectors, same borders, same
+        shared :class:`RpcCostModel` — so ``repro.faults.install`` arms
+        every tier at once) and rebinds the Modeler to it.  Returns the
+        new master.
+        """
+        from repro.collectors.sharding import build_sharded_master
+
+        sharded = build_sharded_master(
+            "master", self.net, self.directory,
+            self.master.borders, self.master.rpc, config,
+        )
+        self.master = sharded
+        self.modeler.master = sharded
+        log.info("sharded master plane: %d shards", len(sharded.shards))
+        return sharded
+
     def start_monitoring(self) -> None:
         """Begin periodic polling in every SNMP collector."""
         log.debug("starting monitoring in %d collectors", len(self.snmp_collectors))
@@ -195,8 +215,13 @@ def deploy_remos(
     community: str = "public",
     bridge_startup: bool = True,
     world: SnmpWorld | None = None,
+    sharding=None,
 ) -> RemosDeployment:
-    """Stand up the full Remos stack for the given sites."""
+    """Stand up the full Remos stack for the given sites.
+
+    ``sharding`` (a :class:`~repro.collectors.sharding.ShardingConfig`)
+    replaces the flat Master with a sharded hierarchy after wiring.
+    """
     if not sites:
         raise ValueError("need at least one site")
     if world is None:
@@ -255,6 +280,8 @@ def deploy_remos(
     )
     modeler.history_provider = deployment.history_for_edge
     modeler.node_info_provider = deployment.node_info_for
+    if sharding is not None:
+        deployment.shard(sharding)
     log.info(
         "deployed remos: %d sites, %d bridge collectors, %d benchmarks",
         len(sites), len(bridge_collectors), len(benchmarks),
@@ -294,6 +321,7 @@ def deploy_wan(
     poll_interval_s: float = 5.0,
     snmp_cost: SnmpCostModel | None = None,
     bench_config: BenchmarkConfig | None = None,
+    sharding=None,
 ) -> RemosDeployment:
     """One Remos site per WAN site; benchmark collectors fully peered.
 
@@ -327,7 +355,8 @@ def deploy_wan(
             )
         )
     return deploy_remos(
-        world.net, sites, poll_interval_s, snmp_cost, bench_config=bench_config
+        world.net, sites, poll_interval_s, snmp_cost,
+        bench_config=bench_config, sharding=sharding,
     )
 
 

@@ -232,6 +232,33 @@ def crash_collector(collector, down_s: float) -> None:
     engine.after(down_s, _restart)
 
 
+def crash_shard(master, shard_index: int, down_s: float,
+                include_replicas: bool = True) -> None:
+    """Crash one shard of a :class:`~repro.collectors.sharding.ShardedMaster`.
+
+    With ``include_replicas`` every replica in the shard's chain goes
+    down together (the ShardedMaster must fall back to its shard-level
+    last-known-good cache); otherwise only the primary crashes and the
+    next query promotes a replica, which still answers *fresh* from the
+    shared site collectors.
+    """
+    shard = master.shards[shard_index]
+    targets = shard.masters if include_replicas else shard.masters[:1]
+    engine = master.net.engine
+    for m in targets:
+        m.crashed_until = engine.now + down_s
+
+        def _restart(mm=m) -> None:
+            mm.crashed_until = None
+
+        engine.after(down_s, _restart)
+    _record_fault("shard_crash")
+    log.debug(
+        "shard %d crashed (%d master(s)) until t=%.1f",
+        shard_index, len(targets), engine.now + down_s,
+    )
+
+
 def crash_agent(world, ip, down_s: float | None = None) -> None:
     """Take one SNMP agent down (optionally restoring after ``down_s``)."""
     agent = world.agent_at(ip)

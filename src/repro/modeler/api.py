@@ -654,8 +654,14 @@ class Modeler:
         every memoized answer.  ``None`` keeps the historical
         flush-everything behaviour.  Scoping is observable on the
         ``modeler.query_cache`` counter (``result="evicted"`` /
-        ``"survived"``).
+        ``"survived"``).  The invalidation also propagates to the
+        Master plane (flat or sharded), dropping its last-known-good
+        fragments for the named sites so a known topology change is
+        never served from survival caches either.
         """
+        drop = getattr(self.master, "invalidate_sites", None)
+        if drop is not None:
+            drop(sites)
         if sites is None:
             self._query_cache.clear()
             return

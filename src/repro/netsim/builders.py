@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.units import MBPS
+from repro.netsim.address import IPv4Address
 from repro.netsim.topology import Host, Hub, Network, Router, Switch
 
 
@@ -348,6 +349,142 @@ class WanWorld:
 
     def host(self, site: str, idx: int = 0) -> Host:
         return self.sites[site].hosts[idx]
+
+
+@dataclass
+class SiteExtras:
+    """Randomized structure a :func:`build_random_wan` site may carry."""
+
+    #: second leaf switch under the site switch (mobility target), if any
+    leaf_switch: Switch | None = None
+    #: hosts homed on the leaf switch (subset of ``Site.hosts``)
+    leaf_hosts: list[Host] = field(default_factory=list)
+    #: basestations on the site switch (wireless cells), if any
+    basestations: list = field(default_factory=list)
+    #: wireless hosts associated to the basestations (not in ``Site.hosts``)
+    wireless_hosts: list[Host] = field(default_factory=list)
+
+
+@dataclass
+class RandomWanWorld(WanWorld):
+    """A :class:`WanWorld` grown by :func:`build_random_wan`."""
+
+    cores: list[Router] = field(default_factory=list)
+    extras: dict[str, SiteExtras] = field(default_factory=dict)
+    seed: int = 0
+
+
+def build_random_wan(
+    n_sites: int,
+    seed: int = 0,
+    hosts_per_site: tuple[int, int] = (2, 4),
+    multi_switch_fraction: float = 0.0,
+    wireless_fraction: float = 0.0,
+    n_cores: int | None = None,
+    core_bps: float = 2488 * MBPS,
+) -> RandomWanWorld:
+    """A seeded random WAN at the scale the paper never reached.
+
+    Hundreds to thousands of sites, each a small LAN behind an edge
+    router with a randomized host count, access capacity and latency;
+    sites attach to a ring of core routers.  Fractions of sites carry a
+    second leaf switch (:mod:`repro.netsim.mobility` re-homing targets)
+    or a basestation cell with wireless hosts
+    (:mod:`repro.netsim.wireless` roaming targets).  Deterministic: the
+    same seed grows the identical world, down to names and addresses.
+
+    Addressing (``build_multisite_wan``'s scheme caps out near 250
+    sites): site ``i`` gets ``10.<1 + i//200>.<i%200>.0/24``; access
+    transits allocate /30s from ``172.16.0.0/12`` and the core ring
+    from ``172.31.0.0/16``, so the space holds tens of thousands of
+    sites without octet collisions.
+    """
+    if n_sites < 1:
+        raise ValueError("need at least one site")
+    if n_sites > 49_999:
+        raise ValueError("site addressing supports at most 49999 sites")
+    lo, hi = hosts_per_site
+    if not 1 <= lo <= hi:
+        raise ValueError("bad hosts_per_site range")
+    from repro.common.rng import make_rng
+
+    rng = make_rng(seed)
+    net = Network()
+    if n_cores is None:
+        n_cores = max(1, min(8, n_sites // 32))
+    cores = [net.add_router(f"core{k}") for k in range(n_cores)]
+    # core ring (a single core needs no ring links)
+    for k in range(len(cores) if n_cores > 1 else 0):
+        nxt = cores[(k + 1) % n_cores]
+        ln = net.link(cores[k], nxt, core_bps, 0.002)
+        base = 0xAC1F0000 + k * 4  # 172.31.0.0 + k*4, /30 per ring hop
+        transit = f"{IPv4Address(base)}/30"
+        net.assign_ip(ln.a, str(IPv4Address(base + 1)), transit)
+        net.assign_ip(ln.b, str(IPv4Address(base + 2)), transit)
+
+    world = RandomWanWorld(net, cores[0], cores=cores, seed=seed)
+    access_tiers = [1.5 * MBPS, 10 * MBPS, 45 * MBPS, 100 * MBPS]
+    for i in range(n_sites):
+        name = f"site{i:04d}"
+        subnet = f"10.{1 + i // 200}.{i % 200}.0/24"
+        prefix = subnet[: subnet.rindex(".0/24")]
+        n_hosts = int(rng.integers(lo, hi + 1))
+        access_bps = float(access_tiers[int(rng.integers(len(access_tiers)))])
+        latency_s = float(rng.uniform(0.005, 0.05))
+        spec = SiteSpec(name, access_bps, n_hosts, access_latency_s=latency_s)
+        router = net.add_router(f"{name}-gw")
+        switch = net.add_switch(f"{name}-sw")
+        lan_link = net.link(router, switch, spec.lan_bps)
+        core = cores[int(rng.integers(n_cores))]
+        access = net.link(router, core, access_bps, latency_s)
+        extras = SiteExtras()
+        hosts: list[Host] = []
+        next_addr = 10
+        for j in range(n_hosts):
+            h = net.add_host(f"{name}-h{j}")
+            ln = net.link(h, switch, spec.lan_bps)
+            net.assign_ip(ln.a, f"{prefix}.{next_addr}", subnet)
+            next_addr += 1
+            hosts.append(h)
+        if float(rng.random()) < multi_switch_fraction:
+            leaf = net.add_switch(f"{name}-leaf")
+            net.link(switch, leaf, spec.lan_bps)
+            net.assign_ip(leaf.interfaces[0], f"{prefix}.3", subnet)
+            leaf.management_ip = leaf.interfaces[0].ip
+            extras.leaf_switch = leaf
+            for j in range(int(rng.integers(1, 3))):
+                h = net.add_host(f"{name}-lh{j}")
+                ln = net.link(h, leaf, spec.lan_bps)
+                net.assign_ip(ln.a, f"{prefix}.{next_addr}", subnet)
+                next_addr += 1
+                hosts.append(h)
+                extras.leaf_hosts.append(h)
+        if float(rng.random()) < wireless_fraction:
+            from repro.netsim.wireless import add_basestation
+
+            for b in range(2):
+                bs = add_basestation(net, f"{name}-ap{b}", switch, 11 * MBPS)
+                net.assign_ip(bs.interfaces[0], f"{prefix}.{4 + b}", subnet)
+                bs.management_ip = bs.interfaces[0].ip
+                extras.basestations.append(bs)
+            for j in range(int(rng.integers(1, 3))):
+                h = net.add_host(f"{name}-wh{j}")
+                bs = extras.basestations[j % len(extras.basestations)]
+                ln = net.link(h, bs, 11 * MBPS)
+                net.assign_ip(ln.a, f"{prefix}.{next_addr}", subnet)
+                next_addr += 1
+                extras.wireless_hosts.append(h)
+        net.assign_ip(lan_link.a, f"{prefix}.1", subnet)
+        net.assign_ip(switch.interfaces[0], f"{prefix}.2", subnet)
+        switch.management_ip = switch.interfaces[0].ip
+        base = 0xAC100000 + i * 4  # 172.16.0.0 + i*4, /30 per access link
+        transit = f"{IPv4Address(base)}/30"
+        net.assign_ip(access.a, str(IPv4Address(base + 1)), transit)
+        net.assign_ip(access.b, str(IPv4Address(base + 2)), transit)
+        world.sites[name] = Site(spec, router, switch, hosts, subnet)
+        world.extras[name] = extras
+    net.freeze()
+    return world
 
 
 def build_multisite_wan(specs: list[SiteSpec]) -> WanWorld:

@@ -38,6 +38,7 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "collectors.benchmark.throughput_bps",
         "collectors.master.fanout",
         "collectors.master.fragment_retries",
+        "collectors.master.lkg_invalidated",
         "collectors.master.lkg_served",
         "collectors.master.merge_wall_s",
         "collectors.master.overlap_saved_s",
@@ -45,6 +46,12 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "collectors.master.query_pdus",
         "collectors.master.unresolved_ips",
         "collectors.master.wan_edges",
+        "collectors.sharded.cross_edges",
+        "collectors.sharded.fanout",
+        "collectors.sharded.lkg_served",
+        "collectors.sharded.overlap_saved_s",
+        "collectors.sharded.replica_promotions",
+        "collectors.sharded.shard_failures",
         "collectors.snmp.cache_flush",
         "collectors.snmp.monitored_links",
         "collectors.snmp.monitors_bootstrapped",
@@ -106,6 +113,9 @@ SPAN_NAMES: frozenset[str] = frozenset(
         "collectors.master.delegate",
         "collectors.master.history",
         "collectors.master.topology",
+        "collectors.sharded.delegate",
+        "collectors.sharded.stitch",
+        "collectors.sharded.topology",
         "collectors.snmp.history",
         "collectors.snmp.poll",
         "collectors.snmp.topology",

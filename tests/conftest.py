@@ -1,0 +1,30 @@
+"""Shared fixtures for the whole test suite.
+
+The centrepiece is :func:`random_wan` — a factory around
+:func:`repro.netsim.builders.build_random_wan` that grows seeded random
+WANs at the scale the paper never reached (hundreds of sites).  Tests
+take the factory rather than a prebuilt world because most of them
+mutate the network (flows, faults, mobility): every call returns a
+fresh, deterministic world for its seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.builders import RandomWanWorld, build_random_wan
+
+
+@pytest.fixture
+def random_wan():
+    """Factory for seeded random large-topology worlds.
+
+    ``random_wan(n_sites, seed=..., **kw)`` forwards to
+    :func:`build_random_wan`; same arguments grow the identical world,
+    down to names and addresses, so failures replay exactly.
+    """
+
+    def _build(n_sites: int, seed: int = 0, **kw: object) -> RandomWanWorld:
+        return build_random_wan(n_sites, seed=seed, **kw)
+
+    return _build

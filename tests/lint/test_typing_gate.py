@@ -25,6 +25,8 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 STRICT_FILES = (
     sorted((REPO_ROOT / "src" / "repro" / "common").rglob("*.py"))
     + [
+        REPO_ROOT / "src" / "repro" / "collectors" / "master.py",
+        REPO_ROOT / "src" / "repro" / "collectors" / "sharding.py",
         REPO_ROOT / "src" / "repro" / "modeler" / "graph.py",
         REPO_ROOT / "src" / "repro" / "modeler" / "maxmin.py",
         REPO_ROOT / "src" / "repro" / "modeler" / "planner.py",
@@ -39,6 +41,8 @@ STRICT_MODULES = [
     "repro.common.rng",
     "repro.common.status",
     "repro.common.units",
+    "repro.collectors.master",
+    "repro.collectors.sharding",
     "repro.modeler.graph",
     "repro.modeler.maxmin",
     "repro.modeler.planner",
