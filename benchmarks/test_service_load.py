@@ -1,0 +1,234 @@
+"""Service plane under load: closed-loop clients, shed-to-STALE.
+
+The paper argues a *shared* query service is the only scalable shape
+for grid-wide monitoring; this benchmark measures what our service
+plane does when thousands of applications actually share it.  A
+closed-loop fleet (every client waits for its answer before asking
+again) of 1000+ concurrent in-process clients hammers a warm service,
+plus a smaller fleet over real HTTP sockets, and we record the
+latency distribution, throughput, and how much traffic admission
+control shed to last-known-good answers.
+
+Hard guarantees asserted, not just measured:
+
+* shed requests are answered ``STALE`` — never queued until timeout,
+  never ``FAILED`` while an LKG exists;
+* zero transport errors, zero unanswered requests;
+* the service stays responsive (p95 bounded) even at 20x the
+  backend's concurrency limit.
+
+Exports ``BENCH_service_load.json`` (consumed by the CI service-smoke
+job).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.common.units import MBPS
+from repro.deploy import deploy_wan
+from repro.netsim.builders import SiteSpec, build_multisite_wan
+from repro.service import DirectClient, RemosService, ServiceConfig
+from repro.service.client import HttpServiceClient
+from repro.service.http import start_server
+
+from _util import emit, emit_json
+
+N_CLIENTS = 1200
+REQUESTS_PER_CLIENT = 4
+HTTP_CLIENTS = 64
+HTTP_REQUESTS_PER_CLIENT = 3
+
+
+def build_service():
+    w = build_multisite_wan(
+        [
+            SiteSpec(f"s{i:02d}", access_bps=(10 + 10 * i) * MBPS, n_hosts=3)
+            for i in range(4)
+        ]
+    )
+    dep = deploy_wan(w)
+    w.net.engine.run_until(w.net.now + 30.0)
+    service = RemosService.from_deployment(
+        dep,
+        ServiceConfig(
+            rate=1e9,  # isolate admission control: no rate limiting here
+            burst=1e9,
+            max_inflight=64,
+            lkg_entries=4096,
+        ),
+    )
+    hosts = {f"s{i:02d}": str(w.host(f"s{i:02d}", 0).ip) for i in range(4)}
+    sites = sorted(hosts)
+    bodies = [
+        {"src": hosts[sites[i]], "dst": hosts[sites[(i + 1) % 4]]}
+        for i in range(4)
+    ]
+    return service, bodies
+
+
+def percentile(sorted_vals: list[float], p: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(p / 100.0 * len(sorted_vals)))
+    return sorted_vals[idx]
+
+
+async def closed_loop_client(client, bodies, n_requests, results):
+    for i in range(n_requests):
+        body = bodies[i % len(bodies)]
+        t0 = time.perf_counter()
+        try:
+            ans, served = await client.served("flow_info", body)
+            results.append(
+                {
+                    "latency_s": time.perf_counter() - t0,
+                    "served": served,
+                    "status": str(ans.status),
+                }
+            )
+        except Exception as exc:  # transport/policy error: recorded, asserted 0
+            results.append(
+                {
+                    "latency_s": time.perf_counter() - t0,
+                    "served": "error",
+                    "status": getattr(exc, "code", type(exc).__name__),
+                }
+            )
+
+
+def summarize(results, wall_s):
+    lat = sorted(r["latency_s"] for r in results)
+    served = [r["served"] for r in results]
+    shed = [r for r in results if r["served"] == "shed_lkg"]
+    return {
+        "requests": len(results),
+        "wall_s": wall_s,
+        "throughput_rps": len(results) / wall_s if wall_s > 0 else 0.0,
+        "p50_ms": percentile(lat, 50) * 1e3,
+        "p95_ms": percentile(lat, 95) * 1e3,
+        "p99_ms": percentile(lat, 99) * 1e3,
+        "served_live": served.count("live"),
+        "served_shed_lkg": served.count("shed_lkg"),
+        "errors": served.count("error"),
+        "shed_rate": len(shed) / len(results) if results else 0.0,
+        "failed_answers": sum(1 for r in results if r["status"] == "failed"),
+        "shed_non_stale": sum(1 for r in shed if r["status"] != "stale"),
+    }
+
+
+def test_service_load_closed_loop():
+    service, bodies = build_service()
+
+    async def run():
+        # warm every query's LKG so shedding has something to serve
+        warm_client = DirectClient(service, tenant="warmup")
+        for body in bodies:
+            ans, served = await warm_client.served("flow_info", body)
+            assert served == "live" and str(ans.status) == "ok"
+
+        results: list[dict] = []
+        t0 = time.perf_counter()
+        await asyncio.gather(
+            *(
+                closed_loop_client(
+                    DirectClient(service, tenant=f"t{i:04d}"),
+                    bodies,
+                    REQUESTS_PER_CLIENT,
+                    results,
+                )
+                for i in range(N_CLIENTS)
+            )
+        )
+        return results, time.perf_counter() - t0
+
+    results, wall_s = asyncio.run(run())
+    summary = summarize(results, wall_s)
+    summary["clients"] = N_CLIENTS
+
+    # -- the load-shedding contract ------------------------------------
+    assert summary["requests"] == N_CLIENTS * REQUESTS_PER_CLIENT
+    assert summary["errors"] == 0, "every request must be answered"
+    assert summary["failed_answers"] == 0, "no FAILED while LKG exists"
+    assert summary["shed_non_stale"] == 0, "shed answers must be STALE"
+    assert summary["served_shed_lkg"] > 0, "20x overload must shed"
+    assert summary["served_live"] > 0, "admitted requests answer live"
+    assert summary["p95_ms"] < 2000, "shedding must keep latency bounded"
+
+    emit(
+        "service_load",
+        [
+            f"closed-loop load: {N_CLIENTS} concurrent clients, "
+            f"{summary['requests']} requests",
+            f"throughput {summary['throughput_rps']:,.0f} req/s, "
+            f"p50 {summary['p50_ms']:.2f} ms, p95 {summary['p95_ms']:.2f} ms, "
+            f"p99 {summary['p99_ms']:.2f} ms",
+            f"live {summary['served_live']}, shed-to-STALE "
+            f"{summary['served_shed_lkg']} ({summary['shed_rate']:.1%}), "
+            f"errors {summary['errors']}, FAILED {summary['failed_answers']}",
+        ],
+    )
+
+    http_summary = _http_phase()
+    emit_json(
+        "service_load",
+        {
+            "direct": summary,
+            "http": http_summary,
+            "service_stats": dict(service.stats),
+        },
+    )
+
+
+def _http_phase():
+    """A smaller fleet over real TCP: same contract, socket costs in."""
+    service, bodies = build_service()
+
+    async def run():
+        server = await start_server(service, host="127.0.0.1", port=0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            warm = DirectClient(service, tenant="warmup")
+            for body in bodies:
+                await warm.served("flow_info", body)
+            results: list[dict] = []
+            clients = [
+                HttpServiceClient("127.0.0.1", port, tenant=f"h{i:03d}")
+                for i in range(HTTP_CLIENTS)
+            ]
+            t0 = time.perf_counter()
+            await asyncio.gather(
+                *(
+                    closed_loop_client(
+                        c, bodies, HTTP_REQUESTS_PER_CLIENT, results
+                    )
+                    for c in clients
+                )
+            )
+            wall_s = time.perf_counter() - t0
+            for c in clients:
+                await c.close()
+            return results, wall_s
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    results, wall_s = asyncio.run(run())
+    summary = summarize(results, wall_s)
+    summary["clients"] = HTTP_CLIENTS
+    assert summary["errors"] == 0
+    assert summary["failed_answers"] == 0
+    assert summary["shed_non_stale"] == 0
+    emit(
+        "service_load_http",
+        [
+            f"HTTP fleet: {HTTP_CLIENTS} keep-alive connections, "
+            f"{summary['requests']} requests",
+            f"throughput {summary['throughput_rps']:,.0f} req/s, "
+            f"p50 {summary['p50_ms']:.2f} ms, p95 {summary['p95_ms']:.2f} ms",
+            f"live {summary['served_live']}, shed {summary['served_shed_lkg']}, "
+            f"errors {summary['errors']}",
+        ],
+    )
+    return summary

@@ -72,6 +72,9 @@ class MirrorClient:
         self.file_bytes = file_bytes
         self.transfer_timeout_s = transfer_timeout_s
         self.trials: list[TrialResult] = []
+        #: site -> status string for sites whose last ranking query came
+        #: back degraded (STALE/PARTIAL/FAILED); reset by rank_servers
+        self.degraded_sites: dict[str, str] = {}
 
     def rank_servers(self) -> tuple[dict[str, float], float]:
         """Ask Remos for available bandwidth to every replica.
@@ -82,10 +85,16 @@ class MirrorClient:
         """
         t0 = self.net.now
         reported: dict[str, float] = {}
+        self.degraded_sites = {}
         for site, server in sorted(self.servers.items()):
             try:
                 # non-strict: a FAILED answer reports 0 bps by itself
                 ans = self.session.flow_info(server, self.client)
+                if ans.degraded:
+                    # blind-spot tolerance, made visible: the ranking
+                    # still uses what Remos could say, but the caller
+                    # can audit which sites were ranked on degraded data
+                    self.degraded_sites[site] = str(ans.status)
                 reported[site] = ans.available_bps
             except (QueryError, RemosError):
                 reported[site] = 0.0

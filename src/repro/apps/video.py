@@ -356,8 +356,14 @@ def choose_and_stream(
     efficiencies = efficiencies or {}
     reported: dict[str, float] = {}
     loads: dict[str, float] = {}
+    degraded: set[str] = set()
     for site, server in sorted(servers.items()):
         ans = session.flow_info(server, client)
+        if ans.degraded:
+            # degraded answers already self-report lower bandwidth; the
+            # flag only breaks ties so a blind spot never outranks an
+            # equally-fast site Remos actually measured
+            degraded.add(site)
         reported[site] = ans.available_bps
         if consider_load:
             [node] = session.node_info([server])
@@ -365,10 +371,15 @@ def choose_and_stream(
     if consider_load:
         order = sorted(
             reported,
-            key=lambda s: (loads.get(s, 0.0) > load_threshold, -reported[s], s),
+            key=lambda s: (
+                loads.get(s, 0.0) > load_threshold,
+                -reported[s],
+                s in degraded,
+                s,
+            ),
         )
     else:
-        order = sorted(reported, key=lambda s: (-reported[s], s))
+        order = sorted(reported, key=lambda s: (-reported[s], s in degraded, s))
     results: dict[str, VideoResult] = {}
     for site in order:
         session = VideoSession(

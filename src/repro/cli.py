@@ -279,6 +279,41 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Boot a scenario and serve the Remos query plane over HTTP."""
+    import asyncio
+
+    from repro.service import RemosService, ServiceConfig
+    from repro.service.http import serve_forever
+
+    # a live registry so GET /v1/metrics actually reports
+    with obs.scoped_registry() as reg:
+        net, dep = _build(args.scenario)
+        reg.use_sim_clock(net.engine)
+        # run the world long enough that collectors have measurements
+        net.engine.run_until(net.now + args.warmup)
+        config = ServiceConfig(
+            rate=args.rate,
+            burst=args.rate * 2,
+            max_inflight=args.max_inflight,
+        )
+        service = RemosService.from_deployment(dep, config)
+        print(
+            f"# remos service: scenario={args.scenario} "
+            f"http://{args.host}:{args.port}/v1 "
+            f"(rate={args.rate:g}/s/tenant, max_inflight={args.max_inflight})"
+        )
+        try:
+            asyncio.run(
+                serve_forever(
+                    service, args.host, args.port, tick_interval_s=args.tick
+                )
+            )
+        except KeyboardInterrupt:
+            print("# interrupted; shutting down")
+    return 0
+
+
 def cmd_lint(args) -> int:
     """Run remoslint (see docs/static-analysis.md)."""
     from repro.lint.cli import run_from_args
@@ -403,6 +438,33 @@ def make_parser() -> argparse.ArgumentParser:
         help="log events shown with --summary (default: 20)",
     )
 
+    sv = sub.add_parser(
+        "serve",
+        help="serve the Remos query plane over HTTP (see docs/service.md)",
+    )
+    sv.add_argument(
+        "scenario", nargs="?", default="wan",
+        help="scenario name or a topology .json spec (default: wan)",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8077)
+    sv.add_argument(
+        "--warmup", type=float, default=30.0,
+        help="simulated seconds to run before serving (default: 30)",
+    )
+    sv.add_argument(
+        "--rate", type=float, default=200.0,
+        help="per-tenant request rate limit per second (default: 200)",
+    )
+    sv.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="concurrent backend calls before shedding to LKG (default: 64)",
+    )
+    sv.add_argument(
+        "--tick", type=float, default=0.5,
+        help="subscription poll interval in seconds, 0 disables (default: 0.5)",
+    )
+
     from repro.lint.cli import configure_parser as configure_lint_parser
 
     configure_lint_parser(
@@ -423,6 +485,7 @@ COMMANDS = {
     "forecast": cmd_forecast,
     "stats": cmd_stats,
     "trace": cmd_trace,
+    "serve": cmd_serve,
     "lint": cmd_lint,
 }
 

@@ -125,6 +125,25 @@ class MasterCollector(Collector):
         if dropped:
             obs.counter("collectors.master.lkg_invalidated").inc(dropped)
 
+    def health(self) -> dict[str, object]:
+        """Backend-health snapshot for the service plane (``/v1/health``).
+
+        Reports how much of the directory is currently answering: sites
+        registered, registrations under quarantine right now, and
+        last-known-good fragments held for sites that stopped
+        answering.  The sharded plane extends this with per-shard
+        detail.
+        """
+        now = float(self.net.engine.now)
+        quarantined = sum(1 for until in self._quarantine.values() if until > now)
+        return {
+            "kind": "master",
+            "name": self.name,
+            "sites": len({reg.site for reg in self.directory.registrations()}),
+            "quarantined": quarantined,
+            "lkg_fragments": len(self._lkg),
+        }
+
     def _topology(self, request: TopologyRequest) -> TopologyResponse:
         self.queries_served += 1
         # 1. Partition addresses by responsible registration.

@@ -199,6 +199,28 @@ class ShardedMaster(MasterCollector):
             for m in shard.masters:
                 m.invalidate_sites(wanted)
 
+    def health(self) -> dict[str, object]:
+        """Per-shard backend health (``/v1/health`` through the service)."""
+        base = super().health()
+        now = float(self.net.engine.now)
+        base["kind"] = "sharded-master"
+        base["shard_lkg_fragments"] = len(self._shard_lkg)
+        base["shards"] = [
+            {
+                "index": shard.index,
+                "sites": len(shard.sites),
+                "masters": len(shard.masters),
+                "down": sum(
+                    1
+                    for m in shard.masters
+                    if m.crashed_until is not None and float(m.net.now) < m.crashed_until
+                ),
+                "quarantined_until": self._shard_quarantine.get(shard.index, 0.0) > now,
+            }
+            for shard in self.shards
+        ]
+        return base
+
     # -- the sharded topology path -------------------------------------
 
     def topology(self, request: TopologyRequest) -> TopologyResponse:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Any, Iterable
 
 
 class QueryStatus(enum.Enum):
@@ -34,6 +34,16 @@ class QueryStatus(enum.Enum):
 
     def __str__(self) -> str:  # compact rendering for CLI / logs
         return self.value
+
+    # -- wire schema v1 (docs/service.md) ------------------------------
+
+    def to_dict(self) -> str:
+        """Canonical wire form: the status value string."""
+        return self.value
+
+    @classmethod
+    def from_dict(cls, value: str) -> "QueryStatus":
+        return cls(value)
 
 
 #: severity order used when combining fragment statuses
@@ -57,6 +67,28 @@ class SiteStatus:
     data_age_s: float = 0.0
     #: delegation attempts spent on this fragment (retries + 1)
     attempts: int = 1
+
+    # -- wire schema v1 (docs/service.md) ------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """Canonical wire form, losslessly invertible by :meth:`from_dict`."""
+        return {
+            "site": self.site,
+            "status": self.status.to_dict(),
+            "detail": self.detail,
+            "data_age_s": self.data_age_s,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "SiteStatus":
+        return cls(
+            site=str(d["site"]),
+            status=QueryStatus.from_dict(str(d["status"])),
+            detail=str(d.get("detail", "")),
+            data_age_s=float(d.get("data_age_s", 0.0)),
+            attempts=int(d.get("attempts", 1)),
+        )
 
 
 def combine(statuses: Iterable[QueryStatus]) -> QueryStatus:

@@ -82,6 +82,13 @@ class FaultPlan:
     probe_fail_prob: float = 0.0
     #: simulated time a failing probe burns before giving up
     probe_timeout_s: float = 5.0
+    # -- service-plane faults (repro.service) -------------------------
+    #: probability one service backend call raises a transient error
+    #: (exercises the breaker / retry-budget / shed-to-STALE paths)
+    service_error_prob: float = 0.0
+    #: probability one service request suffers an artificial stall
+    service_delay_prob: float = 0.0
+    service_delay_s: float = 0.2
     # -- survival policy applied on install ---------------------------
     #: SNMP retry budget per request (exponential backoff below)
     snmp_retries: int = 2
@@ -101,6 +108,8 @@ class FaultPlan:
             or self.counter_reset_prob > 0
             or self.counter_wrap32
             or self.probe_fail_prob > 0
+            or self.service_error_prob > 0
+            or self.service_delay_prob > 0
         )
 
 
@@ -157,6 +166,16 @@ class FaultInjector:
     def probe_fails(self, src_site: str, dst_site: str) -> bool:
         """Should this WAN benchmark probe fail?"""
         return self._fire("probe_fail", self.plan.probe_fail_prob)
+
+    def service_error(self) -> bool:
+        """Should this service backend call raise a transient error?"""
+        return self._fire("service_error", self.plan.service_error_prob)
+
+    def service_delay(self) -> float:
+        """Artificial stall to add to one service request (usually 0)."""
+        if self._fire("service_delay", self.plan.service_delay_prob):
+            return self.plan.service_delay_s
+        return 0.0
 
 
 def install(dep, plan: FaultPlan) -> FaultInjector:

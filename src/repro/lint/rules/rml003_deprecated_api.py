@@ -20,6 +20,7 @@ SHIMS = {
     "flow_queries": "RemosSession.flow_info_many",
     "topology_query": "RemosSession.topology",
     "node_query": "RemosSession.node_info",
+    "invalidate_query_cache": "Modeler.invalidate_cache",
 }
 
 

@@ -25,10 +25,11 @@ bandwidth instead of the last measurement (§2.3, §3.3).
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import warnings
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import ClassVar, Protocol
 
 import numpy as np
 
@@ -59,14 +60,26 @@ class PredictionService(Protocol):
         ...
 
 
+#: wire schema version stamped into every serialized answer (bumped
+#: only on incompatible changes; see docs/service.md)
+WIRE_SCHEMA_VERSION = 1
+
+#: answer fields carried as JSON lists but reconstructed as tuples
+_TUPLE_FIELDS = frozenset({"path", "provenance", "unresolved"})
+
+
 class Answer:
     """Common surface of every Remos answer.
 
     Concrete answers are dataclasses that append ``status``,
     ``data_age_s``, ``provenance``, and ``trace_id`` fields; this
-    (non-dataclass) base only contributes the convenience predicates,
-    so subclasses keep full control of their field order.
+    (non-dataclass) base only contributes the convenience predicates
+    and the wire serialization, so subclasses keep full control of
+    their field order.
     """
+
+    #: wire discriminator, set by each concrete answer class
+    KIND: ClassVar[str] = ""
 
     status: QueryStatus
     data_age_s: float
@@ -86,10 +99,70 @@ class Answer:
         """Anything less than complete and fresh (stale/partial/failed)."""
         return self.status != QueryStatus.OK
 
+    # -- wire schema v1 (docs/service.md) ------------------------------
+
+    def to_dict(self) -> dict:
+        """Canonical wire form: plain JSON-ready types, lossless.
+
+        Every answer serializes to ``{"schema": 1, "kind": ..., <its
+        dataclass fields>}`` with enums as value strings, tuples as
+        lists, graphs/site records via their own ``to_dict``.  The dict
+        is canonical: serializing the same answer twice — or an answer
+        reconstructed by :meth:`from_dict` — yields byte-identical JSON
+        under ``repro.service.wire.canonical_json``.
+        """
+        out: dict = {"schema": WIRE_SCHEMA_VERSION, "kind": self.KIND}
+        for f in dataclasses.fields(self):
+            v = getattr(self, f.name)
+            if isinstance(v, QueryStatus):
+                v = v.to_dict()
+            elif isinstance(v, TopologyGraph):
+                v = v.to_dict()
+            elif f.name == "site_status":
+                v = {site: st.to_dict() for site, st in sorted(v.items())}
+            elif isinstance(v, tuple):
+                v = list(v)
+            out[f.name] = v
+        return out
+
+    @staticmethod
+    def from_dict(d: dict) -> "Answer":
+        """Reconstruct any concrete answer from its wire form."""
+        schema = d.get("schema")
+        if schema != WIRE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported wire schema {schema!r} "
+                f"(this build speaks v{WIRE_SCHEMA_VERSION})"
+            )
+        kinds: dict[str, type] = {
+            cls.KIND: cls for cls in (FlowAnswer, NodeAnswer, TopologyAnswer)
+        }
+        kind = d.get("kind")
+        cls = kinds.get(kind)
+        if cls is None:
+            raise ValueError(f"unknown answer kind {kind!r}")
+        kwargs = {}
+        for f in dataclasses.fields(cls):
+            if f.name not in d:
+                continue
+            v = d[f.name]
+            if f.name == "status":
+                v = QueryStatus.from_dict(v)
+            elif f.name == "graph":
+                v = TopologyGraph.from_dict(v)
+            elif f.name == "site_status":
+                v = {site: SiteStatus.from_dict(sd) for site, sd in v.items()}
+            elif f.name in _TUPLE_FIELDS:
+                v = tuple(v)
+            kwargs[f.name] = v
+        return cls(**kwargs)
+
 
 @dataclass
 class FlowAnswer(Answer):
     """What a flow query returns to the application."""
+
+    KIND: ClassVar[str] = "flow"
 
     src: str
     dst: str
@@ -126,6 +199,8 @@ class NodeAnswer(Answer):
     RPS host-load sensors rather than the collectors.
     """
 
+    KIND: ClassVar[str] = "node"
+
     ip: str
     #: current load average (None if no sensor covers the host)
     load: float | None
@@ -142,6 +217,8 @@ class NodeAnswer(Answer):
 @dataclass
 class TopologyAnswer(Answer):
     """What a topology query returns through :class:`RemosSession`."""
+
+    KIND: ClassVar[str] = "topology"
 
     graph: TopologyGraph
     #: requested hosts that could not be covered
@@ -645,7 +722,7 @@ class Modeler:
             self._query_cache.pop(key, None)
         return resp.graph, meta
 
-    def invalidate_query_cache(self, sites=None) -> None:
+    def invalidate_cache(self, sites=None) -> None:
         """Drop memoized responses (e.g. after a known topology change).
 
         With ``sites`` (an iterable of site names) the eviction is
@@ -677,6 +754,20 @@ class Modeler:
         obs.counter("modeler.query_cache", result="survived").inc(
             len(self._query_cache)
         )
+
+    def invalidate_query_cache(self, sites=None) -> None:
+        """Deprecated: use :meth:`invalidate_cache` (same signature).
+
+        Kept as a shim so external callers keep working; remoslint
+        RML003 flags internal use.
+        """
+        warnings.warn(
+            "Modeler.invalidate_query_cache is deprecated; "
+            "use Modeler.invalidate_cache (same signature)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.invalidate_cache(sites)
 
     @staticmethod
     def _to_answer(

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Any
 
 import networkx as nx
 
@@ -213,6 +214,59 @@ class TopologyGraph:
 
     def num_edges(self) -> int:
         return int(self._g.number_of_edges())
+
+    # -- wire schema v1 (docs/service.md) ------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """Canonical wire form: sorted node and edge records.
+
+        Nodes sort by id; edges by their normalized endpoint key (the
+        ``edges()`` accessor sorts by the endpoint order networkx
+        happens to yield, which varies with construction order), so two
+        graphs with the same content serialize byte-identically
+        regardless of insertion order.  Non-finite capacities
+        (``inf`` for virtual elements) survive because both wire ends
+        use Python's ``json`` module, which round-trips ``Infinity``.
+        """
+        return {
+            "nodes": [
+                {"id": n.id, "kind": n.kind, "ips": list(n.ips)}
+                for n in self.nodes()
+            ],
+            "edges": [
+                {
+                    "a": e.a,
+                    "b": e.b,
+                    "capacity_bps": e.capacity_bps,
+                    "util_ab_bps": e.util_ab_bps,
+                    "util_ba_bps": e.util_ba_bps,
+                    "latency_s": e.latency_s,
+                    "jitter_s": e.jitter_s,
+                }
+                for e in sorted(self.edges(), key=TopoEdge.key)
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "TopologyGraph":
+        graph = cls()
+        for nd in d.get("nodes", []):
+            graph.add_node(
+                TopoNode(str(nd["id"]), str(nd["kind"]), tuple(nd.get("ips", ())))
+            )
+        for ed in d.get("edges", []):
+            graph.add_edge(
+                TopoEdge(
+                    str(ed["a"]),
+                    str(ed["b"]),
+                    capacity_bps=float(ed.get("capacity_bps", math.inf)),
+                    util_ab_bps=float(ed.get("util_ab_bps", 0.0)),
+                    util_ba_bps=float(ed.get("util_ba_bps", 0.0)),
+                    latency_s=float(ed.get("latency_s", 0.0)),
+                    jitter_s=float(ed.get("jitter_s", 0.0)),
+                )
+            )
+        return graph
 
     def remove_node(self, node_id: str) -> None:
         self._touch()

@@ -85,6 +85,15 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "rps.service.last_resort",
         "rps.service.requests",
         "rps.streaming.refits",
+        # -- service plane (repro.service) -----------------------------
+        "service.breaker_transitions",
+        "service.inflight",
+        "service.lkg_entries",
+        "service.ratelimited",
+        "service.requests",
+        "service.retries",
+        "service.shed",
+        "service.subs_events",
         # -- faults ----------------------------------------------------
         "faults.injected",
         # -- obs itself ------------------------------------------------
@@ -96,6 +105,9 @@ METRIC_NAMES: frozenset[str] = frozenset(
 #: feeds a derived ``<name>.duration_s`` histogram with its labels.
 SPAN_NAMES: frozenset[str] = frozenset(
     {
+        # -- service plane (trace roots for remote queries) ------------
+        "service.backend",
+        "service.request",
         # -- session (trace roots) -------------------------------------
         "session.flow_info",
         "session.flow_info_many",

@@ -1,0 +1,391 @@
+"""RemosService: the query-plane application behind the HTTP edge.
+
+One dispatch pipeline serves every endpoint, in-process
+(:class:`repro.service.client.DirectClient`) and over HTTP
+(:mod:`repro.service.http`) alike — the equivalence guarantee falls
+out of that sharing:
+
+1. count + trace the request (``service.requests``, ``service.request``
+   span);
+2. per-tenant token bucket (:mod:`repro.service.ratelimit`);
+3. admission control — at ``max_inflight`` concurrent backend calls a
+   query request is *shed* to the last-known-good answer, served STALE
+   (:mod:`repro.service.admission`), never queued;
+4. circuit breaker around the backend (:mod:`repro.service.breaker`) —
+   an open breaker also takes the LKG shed path;
+5. service-level fault injection (``service_error`` /
+   ``service_delay`` in :mod:`repro.faults`), so chaos suites can
+   exercise every path above deterministically;
+6. the actual :class:`repro.session.RemosSession` call, serialized by
+   an asyncio lock (the discrete-event sim is single-threaded), with
+   retries funded by a global budget
+   (:mod:`repro.service.retrypolicy`);
+7. good answers (no FAILED member) refresh the LKG store.
+
+The backend answers in canonical wire dicts; the HTTP edge serializes
+them with :func:`repro.service.wire.canonical_json` and the in-process
+client reconstructs ``Answer`` objects through the identical
+``from_dict`` path a remote client uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro import obs
+from repro.service.admission import AdmissionController, LastKnownGoodStore
+from repro.service.breaker import CircuitBreaker
+from repro.service.ratelimit import TenantRateLimiter
+from repro.service.retrypolicy import RetryBudget, call_with_retry
+from repro.service.subs import FlowWatcher, SubscriptionHub, flow_channel
+from repro.service.wire import WireError, canonical_json, result_body
+
+__all__ = ["BackendFaultError", "RemosService", "ServiceConfig", "SessionBackend"]
+
+log = obs.get_logger(__name__)
+
+#: endpoints that answer from the session and participate in
+#: admission control / LKG shedding
+QUERY_ENDPOINTS: frozenset[str] = frozenset(
+    {"flow_info", "flow_info_many", "topology", "node_info"}
+)
+
+
+class BackendFaultError(RuntimeError):
+    """Transient backend failure injected by the service fault point."""
+
+
+@dataclass
+class ServiceConfig:
+    """Every hardening knob in one place (see docs/service.md)."""
+
+    # rate limiting (per tenant)
+    rate: float = 200.0
+    burst: float = 400.0
+    # admission control
+    max_inflight: int = 64
+    lkg_entries: int = 4096
+    # circuit breaker
+    breaker_window: int = 20
+    breaker_threshold: float = 0.5
+    breaker_min_calls: int = 5
+    breaker_reset_s: float = 5.0
+    # retry budget
+    retry_deposit_ratio: float = 0.1
+    retry_max_attempts: int = 3
+    # subscriptions
+    subs_capacity: int = 1024
+    subs_max_poll_s: float = 30.0
+    watch_epsilon_bps: float = 1.0
+
+
+@dataclass
+class SessionBackend:
+    """What the service needs from a deployment.
+
+    ``session`` answers queries; ``master`` (optional) contributes its
+    health snapshot to ``/v1/health``; ``net`` (optional) carries the
+    armed :class:`repro.faults.FaultInjector` consulted by the service
+    fault points.
+    """
+
+    session: Any
+    master: Any = None
+    net: Any = None
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+
+    @classmethod
+    def from_deployment(cls, dep: Any) -> "SessionBackend":
+        return cls(session=dep.session(), master=dep.master, net=dep.net)
+
+    @property
+    def faults(self) -> Any:
+        return getattr(self.net, "faults", None) if self.net is not None else None
+
+    def health(self) -> dict[str, Any]:
+        if self.master is not None and hasattr(self.master, "health"):
+            return dict(self.master.health())
+        return {"kind": "unknown"}
+
+
+class RemosService:
+    """The Remos query plane: sessions as a shared, hardened service."""
+
+    def __init__(self, backend: SessionBackend, config: ServiceConfig | None = None):
+        self.backend = backend
+        self.config = config or ServiceConfig()
+        cfg = self.config
+        self.limiter = TenantRateLimiter(rate=cfg.rate, burst=cfg.burst)
+        self.admission = AdmissionController(max_inflight=cfg.max_inflight)
+        self.lkg = LastKnownGoodStore(max_entries=cfg.lkg_entries)
+        self.breaker = CircuitBreaker(
+            window=cfg.breaker_window,
+            failure_threshold=cfg.breaker_threshold,
+            min_calls=cfg.breaker_min_calls,
+            reset_s=cfg.breaker_reset_s,
+        )
+        self.retry_budget = RetryBudget(
+            deposit_ratio=cfg.retry_deposit_ratio,
+            max_attempts=cfg.retry_max_attempts,
+        )
+        self.hub = SubscriptionHub(capacity=cfg.subs_capacity)
+        self.watcher = FlowWatcher(backend.session, epsilon_bps=cfg.watch_epsilon_bps)
+        #: service-side tallies, mirrored into obs counters; the
+        #: ``/v1/metrics`` endpoint and the load benchmark read these
+        self.stats: dict[str, int] = {
+            "requests": 0,
+            "live": 0,
+            "shed_lkg": 0,
+            "rate_limited": 0,
+            "overloaded": 0,
+            "breaker_open": 0,
+            "backend_error": 0,
+            "retries": 0,
+            "subs_events": 0,
+        }
+
+    @classmethod
+    def from_deployment(
+        cls, dep: Any, config: ServiceConfig | None = None
+    ) -> "RemosService":
+        return cls(SessionBackend.from_deployment(dep), config)
+
+    # -- dispatch ------------------------------------------------------
+
+    async def dispatch(
+        self, endpoint: str, body: dict[str, Any], tenant: str = "anonymous"
+    ) -> dict[str, Any]:
+        """Serve one request; returns a wire response envelope.
+
+        Raises :class:`WireError` for every policy rejection; the HTTP
+        edge (or :class:`DirectClient`) maps that onto status codes.
+        """
+        self.stats["requests"] += 1
+        obs.counter("service.requests", endpoint=endpoint).inc()
+        with obs.span("service.request", endpoint=endpoint):
+            try:
+                self.limiter.admit(tenant)
+            except WireError:
+                self.stats["rate_limited"] += 1
+                obs.counter("service.ratelimited").inc()
+                raise
+            if endpoint in QUERY_ENDPOINTS:
+                return await self._query(endpoint, body)
+            if endpoint == "subscribe":
+                return await self._subscribe(body)
+            if endpoint == "invalidate":
+                return await self._invalidate(body)
+            if endpoint == "health":
+                return result_body(self.health())
+            if endpoint == "metrics":
+                return result_body(self.metrics())
+            raise WireError("not_found", f"unknown endpoint {endpoint!r}")
+
+    # -- query path ----------------------------------------------------
+
+    def _lkg_key(self, endpoint: str, body: dict[str, Any]) -> str:
+        return f"{endpoint}:{canonical_json(body)}"
+
+    def _shed(self, key: str, reason: str) -> dict[str, Any]:
+        """Serve the LKG answer for ``key`` (STALE) or raise ``reason``."""
+        payload = self.lkg.serve_stale(key)
+        if payload is None:
+            raise WireError(
+                "overloaded" if reason == "overloaded" else "breaker_open",
+                f"request shed ({reason}) and no last-known-good answer",
+                retry_after_s=0.05,
+            )
+        self.stats["shed_lkg"] += 1
+        obs.counter("service.shed", reason=reason).inc()
+        return result_body(payload, served="shed_lkg")
+
+    async def _query(self, endpoint: str, body: dict[str, Any]) -> dict[str, Any]:
+        key = self._lkg_key(endpoint, body)
+        if not self.admission.try_admit():
+            try:
+                return self._shed(key, "overloaded")
+            except WireError:
+                self.stats["overloaded"] += 1
+                raise
+        try:
+            obs.gauge("service.inflight").set(self.admission.inflight)
+            try:
+                self.breaker.before_call()
+            except WireError:
+                try:
+                    return self._shed(key, "breaker_open")
+                except WireError:
+                    self.stats["breaker_open"] += 1
+                    raise
+            injector = self.backend.faults
+            if injector is not None:
+                stall = injector.service_delay()
+                if stall > 0:
+                    await asyncio.sleep(stall)
+            try:
+                payload = await self._call_backend(endpoint, body)
+            except WireError:
+                raise
+            except Exception as exc:
+                self.breaker.record(False)
+                log.warning("backend error on %s: %s", endpoint, exc)
+                try:
+                    return self._shed(key, "backend_error")
+                except WireError:
+                    self.stats["backend_error"] += 1
+                    raise WireError(
+                        "backend_error", f"{type(exc).__name__}: {exc}"
+                    ) from exc
+            self.breaker.record(True)
+            self.stats["live"] += 1
+            self.lkg.store(key, payload)
+            obs.gauge("service.lkg_entries").set(len(self.lkg))
+            return result_body(payload, served="live")
+        finally:
+            self.admission.release()
+
+    async def _call_backend(self, endpoint: str, body: dict[str, Any]) -> Any:
+        """Run the session call under the backend lock, retries budgeted."""
+
+        def on_retry(attempt: int) -> None:
+            self.stats["retries"] += 1
+            obs.counter("service.retries").inc()
+
+        def run() -> Any:
+            injector = self.backend.faults
+            if injector is not None and injector.service_error():
+                raise BackendFaultError("injected service backend fault")
+            return self._route(endpoint, body)
+
+        async with self.backend.lock:
+            # yield once while holding the lock: the sim backend is
+            # synchronous, so without this a request would run to
+            # completion before the loop ever schedules a concurrent
+            # arrival — admission control would never see real
+            # contention and overload could not shed
+            await asyncio.sleep(0)
+            with obs.span("service.backend", endpoint=endpoint):
+                return call_with_retry(run, self.retry_budget, on_retry)
+
+    def _route(self, endpoint: str, body: dict[str, Any]) -> Any:
+        """Translate a wire body into the session call; returns wire dicts."""
+        session = self.backend.session
+        try:
+            if endpoint == "flow_info":
+                ans = session.flow_info(
+                    body["src"],
+                    body["dst"],
+                    predict=bool(body.get("predict", False)),
+                    horizon_steps=int(body.get("horizon_steps", 1)),
+                )
+                return ans.to_dict()
+            if endpoint == "flow_info_many":
+                pairs = [(p[0], p[1]) for p in body["pairs"]]
+                own = body.get("own_flows")
+                own_flows = [(o[0], o[1], float(o[2])) for o in own] if own else None
+                answers = session.flow_info_many(
+                    pairs,
+                    predict=bool(body.get("predict", False)),
+                    horizon_steps=int(body.get("horizon_steps", 1)),
+                    own_flows=own_flows,
+                )
+                return [a.to_dict() for a in answers]
+            if endpoint == "topology":
+                ans = session.topology(
+                    body["hosts"],
+                    detail=str(body.get("detail", "simplified")),
+                    include_dynamics=bool(body.get("include_dynamics", True)),
+                )
+                return ans.to_dict()
+            if endpoint == "node_info":
+                answers = session.node_info(
+                    body["hosts"],
+                    predict=bool(body.get("predict", False)),
+                    horizon_steps=int(body.get("horizon_steps", 1)),
+                )
+                return [a.to_dict() for a in answers]
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            raise WireError("bad_request", f"bad arguments: {exc}") from exc
+        raise WireError("not_found", f"unknown endpoint {endpoint!r}")
+
+    # -- plumbing endpoints --------------------------------------------
+
+    async def _invalidate(self, body: dict[str, Any]) -> dict[str, Any]:
+        sites = body.get("sites")
+        if sites is not None and not isinstance(sites, list):
+            raise WireError("bad_request", "sites must be a list of site names")
+        async with self.backend.lock:
+            self.backend.session.invalidate_cache(sites)
+        evicted = self.lkg.invalidate(sites)
+        obs.gauge("service.lkg_entries").set(len(self.lkg))
+        return result_body({"invalidated_lkg": evicted, "sites": sites})
+
+    async def _subscribe(self, body: dict[str, Any]) -> dict[str, Any]:
+        pairs = body.get("pairs") or []
+        try:
+            channels = [flow_channel(str(p[0]), str(p[1])) for p in pairs] or None
+            for p in pairs:
+                self.watcher.watch(str(p[0]), str(p[1]))
+        except (IndexError, TypeError) as exc:
+            raise WireError("bad_request", f"bad pairs: {exc}") from exc
+        since = int(body.get("since", 0))
+        timeout_s = min(
+            float(body.get("timeout_s", 0.0)), self.config.subs_max_poll_s
+        )
+        resume_lost = self.hub.resume_lost(since)
+        if timeout_s > 0 and not resume_lost:
+            events = await self.hub.wait(channels, since, timeout_s)
+        else:
+            events = self.hub.events_since(channels, since)
+        return result_body(
+            {
+                "events": events,
+                "seq": self.hub.seq,
+                "oldest_seq": self.hub.oldest_seq,
+                "resume_lost": resume_lost,
+            }
+        )
+
+    def tick_subscriptions(self) -> int:
+        """Poll watched flows once, publishing changes to the hub.
+
+        Driven by the server's background task in wall time, or called
+        directly by tests that own the sim clock.
+        """
+        published = self.watcher.tick(self.hub)
+        if published:
+            self.stats["subs_events"] += published
+            obs.counter("service.subs_events").inc(published)
+        return published
+
+    # -- introspection -------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return {
+            "status": "ok" if self.breaker.state == "closed" else "degraded",
+            "breaker": self.breaker.state,
+            "inflight": self.admission.inflight,
+            "max_inflight": self.admission.max_inflight,
+            "lkg_entries": len(self.lkg),
+            "subs": {
+                "seq": self.hub.seq,
+                "published": self.hub.published,
+                "watched_pairs": len(self.watcher.pairs),
+            },
+            "backend": self.backend.health(),
+        }
+
+    def metrics(self) -> dict[str, Any]:
+        obs.gauge("service.breaker_transitions").set(self.breaker.transitions)
+        # registry is empty under the default NullRegistry; `repro serve`
+        # installs a live one so this carries the service.* catalogue
+        registry = obs.export.snapshot(obs.get_registry(), max_spans=16)
+        return {
+            "stats": dict(self.stats),
+            "breaker_transitions": self.breaker.transitions,
+            "retry_tokens": self.retry_budget.tokens,
+            "lkg_entries": len(self.lkg),
+            "registry": registry,
+        }

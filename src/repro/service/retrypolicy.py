@@ -1,0 +1,82 @@
+"""Retry with a global budget.
+
+Unbounded per-request retries turn a brown-out into a blackout: if the
+backend answers 50% of calls, two retries per request triple its load.
+A *retry budget* caps the aggregate: every incoming request deposits
+``deposit_ratio`` tokens into a shared bucket and every retry withdraws
+one, so total retries can never exceed ``deposit_ratio`` × request
+volume no matter how unlucky individual requests are.  (Same shape as
+the site-quarantine budget already used by the Master; here it guards
+the whole backend.)
+
+Transient backend exceptions are retried while the budget allows;
+``WireError`` is never retried (those are policy decisions, not
+transient faults).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.service.wire import WireError
+
+__all__ = ["RetryBudget", "call_with_retry"]
+
+
+class RetryBudget:
+    """Shared token bucket funded by request volume."""
+
+    def __init__(
+        self,
+        deposit_ratio: float = 0.1,
+        max_tokens: float = 100.0,
+        max_attempts: int = 3,
+    ) -> None:
+        if deposit_ratio < 0:
+            raise ValueError("deposit_ratio must be >= 0")
+        self.deposit_ratio = float(deposit_ratio)
+        self.max_tokens = float(max_tokens)
+        self.max_attempts = int(max_attempts)
+        self._tokens = float(max_tokens)
+
+    def deposit(self) -> None:
+        """Fund the budget: called once per incoming request."""
+        self._tokens = min(self.max_tokens, self._tokens + self.deposit_ratio)
+
+    def try_withdraw(self) -> bool:
+        """Spend one retry token if available."""
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+
+def call_with_retry(
+    fn: Callable[[], Any],
+    budget: RetryBudget,
+    on_retry: Callable[[int], None] | None = None,
+) -> Any:
+    """Run ``fn``, retrying transient exceptions within the budget.
+
+    The first attempt is free (it is the request itself); each retry
+    needs a budget token.  ``on_retry(attempt)`` is called before every
+    retry so the service can count them.  The last exception propagates
+    when attempts or budget run out.
+    """
+    budget.deposit()
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn()
+        except WireError:
+            raise  # policy rejections are not transient
+        except Exception:
+            if attempt >= budget.max_attempts or not budget.try_withdraw():
+                raise
+            if on_retry is not None:
+                on_retry(attempt)

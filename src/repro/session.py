@@ -136,9 +136,11 @@ class RemosSession:
 
         Pass ``sites`` (site names) to scope the eviction to answers
         that actually depended on those sites; other memoized answers
-        survive.
+        survive.  Same name and signature as
+        :meth:`repro.modeler.api.Modeler.invalidate_cache`, which it
+        forwards to.
         """
-        self.modeler.invalidate_query_cache(sites)
+        self.modeler.invalidate_cache(sites)
 
     def __repr__(self) -> str:
         return f"RemosSession({self.modeler!r})"

@@ -194,6 +194,27 @@ class TestRML003DeprecatedApi:
         )
         assert [v.code for v in vs] == ["RML003"] * 3
 
+    def test_invalidation_shim_flagged(self):
+        vs = run(
+            """
+            def refresh(modeler, sites):
+                modeler.invalidate_query_cache(sites=sites)
+            """,
+            "src/repro/apps/thing.py",
+        )
+        assert [v.code for v in vs] == ["RML003"]
+        assert "Modeler.invalidate_cache" in vs[0].message
+
+    def test_unified_invalidation_sanctioned(self):
+        vs = run(
+            """
+            def refresh(session, sites):
+                session.invalidate_cache(sites=sites)
+            """,
+            "src/repro/apps/thing.py",
+        )
+        assert vs == []
+
     def test_session_api_sanctioned(self):
         vs = run(
             """

@@ -3,7 +3,7 @@
 With ``query_cache_ttl_s > 0`` a repeated query inside the window is
 answered from the memoised Master response: same answers, a fraction of
 the simulated cost, and no Master RPC.  Past the window (or after
-``invalidate_query_cache``) the Master is consulted again.
+``invalidate_cache``) the Master is consulted again.
 """
 
 import dataclasses
@@ -116,7 +116,7 @@ class TestStaleness:
         dep.modeler.query_cache_ttl_s = 30.0
         with obs.scoped_registry() as reg:
             dep.modeler.flow_query(lan.hosts[0], lan.hosts[7])
-            dep.modeler.invalidate_query_cache()
+            dep.modeler.invalidate_cache()
             dep.modeler.flow_query(lan.hosts[0], lan.hosts[7])
             snap = obs.export.snapshot(reg)
         assert _hit_miss(snap) == (0, 2)
@@ -185,3 +185,26 @@ class TestSiteScopedInvalidation:
             dep.session().flow_info_many([pair_b])
             snap = obs.export.snapshot(reg)
         assert _hit_miss(snap) == (0, 2)
+
+
+class TestInvalidationShim:
+    def test_old_spelling_warns_and_forwards(self, wan_dep_shim):
+        dep, pair_a = wan_dep_shim
+        with obs.scoped_registry() as reg:
+            with pytest.warns(DeprecationWarning, match="invalidate_cache"):
+                dep.modeler.invalidate_query_cache(sites=["s00"])
+            dep.session().flow_info_many([pair_a])  # evicted: refetch
+            snap = obs.export.snapshot(reg)
+        assert snap["counters"]["modeler.query_cache{result=evicted}"] == 1
+        assert _hit_miss(snap) == (0, 1)
+
+    @pytest.fixture
+    def wan_dep_shim(self):
+        w = build_multisite_wan(
+            [SiteSpec(f"s{i:02d}", access_bps=10 * MBPS, n_hosts=2) for i in range(2)]
+        )
+        dep = deploy_wan(w)
+        dep.modeler.query_cache_ttl_s = 600.0
+        pair_a = (w.host("s00", 0).ip, w.host("s01", 0).ip)
+        dep.session().flow_info_many([pair_a])
+        return dep, pair_a

@@ -21,9 +21,10 @@ def run_demo(reg):
         dep.attach_host_sensor(h, "AR(4)")
     dep.start_monitoring()
     lan.net.engine.run_until(lan.net.now + 30.0)
-    dep.modeler.topology_query([h0, h1])
-    dep.modeler.flow_query(h0, h1)
-    dep.modeler.node_query([h0, h1], predict=True)
+    session = dep.session()
+    session.topology([h0, h1])
+    session.flow_info(h0, h1)
+    session.node_info([h0, h1], predict=True)
 
 
 class TestFiveLayers:

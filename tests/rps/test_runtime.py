@@ -206,10 +206,11 @@ class TestModelerPredictionIntegration:
         dep.modeler.prediction_service = RpsPredictionService("AR(4)")
         # build up utilization history via periodic polling
         lan.net.flows.start_flow(lan.hosts[0], lan.hosts[3], demand_bps=40 * MBPS)
-        dep.modeler.flow_query(lan.hosts[0], lan.hosts[3])  # discover + monitor
+        session = dep.session()
+        session.flow_info(lan.hosts[0], lan.hosts[3])  # discover + monitor
         dep.start_monitoring()
         lan.net.engine.run_until(lan.net.now + 120.0)
-        ans = dep.modeler.flow_query(
+        ans = session.flow_info(
             lan.hosts[0], lan.hosts[3], predict=True, horizon_steps=1
         )
         assert ans.predicted_bps is not None

@@ -1,0 +1,215 @@
+"""Wire schema v1: lossless round-trip, byte-identical re-serialization.
+
+The service's equivalence guarantee ("the wire returns the same Answer
+as an in-process call") rests on two properties of the
+``to_dict``/``from_dict`` family, proven here over generated answers:
+
+* **lossless** — ``from_dict(to_dict(a))`` reconstructs an equal
+  answer (same dataclass, same field values, tuples stay tuples);
+* **canonical** — serializing an answer, reconstructing it, and
+  serializing again yields *byte-identical* JSON under
+  ``canonical_json``, so responses can be compared and cached as raw
+  bytes.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.status import QueryStatus, SiteStatus
+from repro.modeler.api import FlowAnswer, NodeAnswer, TopologyAnswer, Answer
+from repro.modeler.graph import (
+    CLOUD,
+    HOST,
+    ROUTER,
+    SWITCH,
+    TopoEdge,
+    TopoNode,
+    TopologyGraph,
+)
+from repro.service.wire import canonical_json
+
+# -- strategies --------------------------------------------------------
+
+names = st.text(alphabet="abcdefgh0123", min_size=1, max_size=8)
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+nonneg = st.floats(min_value=0.0, allow_nan=False, allow_infinity=False, width=64)
+capacity = st.one_of(st.just(math.inf), nonneg)
+statuses = st.sampled_from(list(QueryStatus))
+opt_float = st.one_of(st.none(), finite)
+trace_ids = st.one_of(st.none(), st.from_regex(r"t[0-9]{4}", fullmatch=True))
+provenances = st.lists(names, max_size=4, unique=True).map(tuple)
+
+
+site_statuses = st.builds(
+    SiteStatus,
+    site=names,
+    status=statuses,
+    detail=st.text(max_size=20),
+    data_age_s=nonneg,
+    attempts=st.integers(min_value=1, max_value=5),
+)
+
+flow_answers = st.builds(
+    FlowAnswer,
+    src=names,
+    dst=names,
+    available_bps=nonneg,
+    bottleneck_bps=nonneg,
+    capacity_bps=capacity,
+    latency_s=nonneg,
+    jitter_s=nonneg,
+    path=st.lists(names, max_size=5).map(tuple),
+    predicted_bps=opt_float,
+    predicted_var=opt_float,
+    status=statuses,
+    data_age_s=nonneg,
+    provenance=provenances,
+    trace_id=trace_ids,
+)
+
+node_answers = st.builds(
+    NodeAnswer,
+    ip=names,
+    load=opt_float,
+    predicted_load=opt_float,
+    predicted_var=opt_float,
+    status=statuses,
+    data_age_s=nonneg,
+    provenance=provenances,
+    trace_id=trace_ids,
+)
+
+
+@st.composite
+def topology_graphs(draw):
+    graph = TopologyGraph()
+    node_ids = draw(st.lists(names, min_size=1, max_size=6, unique=True))
+    kinds = st.sampled_from([HOST, ROUTER, SWITCH, CLOUD])
+    for nid in node_ids:
+        ips = tuple(draw(st.lists(names, max_size=2, unique=True)))
+        graph.add_node(TopoNode(nid, draw(kinds), ips))
+    pairs = [
+        (a, b) for i, a in enumerate(node_ids) for b in node_ids[i + 1 :]
+    ]
+    for a, b in draw(st.lists(st.sampled_from(pairs), max_size=6, unique=True)) if pairs else []:
+        graph.add_edge(
+            TopoEdge(
+                a,
+                b,
+                capacity_bps=draw(capacity),
+                util_ab_bps=draw(nonneg),
+                util_ba_bps=draw(nonneg),
+                latency_s=draw(nonneg),
+                jitter_s=draw(nonneg),
+            )
+        )
+    return graph
+
+
+topology_answers = st.builds(
+    TopologyAnswer,
+    graph=topology_graphs(),
+    unresolved=st.lists(names, max_size=3, unique=True).map(tuple),
+    site_status=st.dictionaries(names, site_statuses, max_size=3),
+    status=statuses,
+    data_age_s=nonneg,
+    provenance=provenances,
+    trace_id=trace_ids,
+)
+
+answers = st.one_of(flow_answers, node_answers, topology_answers)
+
+
+# -- the two load-bearing properties -----------------------------------
+
+
+class TestLosslessRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(answers)
+    def test_from_dict_inverts_to_dict(self, ans):
+        back = Answer.from_dict(ans.to_dict())
+        assert type(back) is type(ans)
+        if isinstance(ans, TopologyAnswer):
+            # graphs compare by content, not identity
+            assert back.graph.to_dict() == ans.graph.to_dict()
+            assert back.unresolved == ans.unresolved
+            assert back.site_status == ans.site_status
+            assert (back.status, back.data_age_s) == (ans.status, ans.data_age_s)
+            assert (back.provenance, back.trace_id) == (ans.provenance, ans.trace_id)
+        else:
+            assert back == ans
+
+    @settings(max_examples=150, deadline=None)
+    @given(answers)
+    def test_tuples_stay_tuples(self, ans):
+        back = Answer.from_dict(ans.to_dict())
+        assert isinstance(back.provenance, tuple)
+        if isinstance(back, FlowAnswer):
+            assert isinstance(back.path, tuple)
+        if isinstance(back, TopologyAnswer):
+            assert isinstance(back.unresolved, tuple)
+
+
+class TestByteIdenticalReserialization:
+    @settings(max_examples=150, deadline=None)
+    @given(answers)
+    def test_canonical_bytes_survive_round_trip(self, ans):
+        first = canonical_json(ans.to_dict())
+        again = canonical_json(Answer.from_dict(ans.to_dict()).to_dict())
+        assert first == again
+
+    @settings(max_examples=50, deadline=None)
+    @given(answers)
+    def test_serialization_is_deterministic(self, ans):
+        assert canonical_json(ans.to_dict()) == canonical_json(ans.to_dict())
+
+
+class TestScalarWireForms:
+    @given(statuses)
+    def test_query_status_round_trips(self, status):
+        assert QueryStatus.from_dict(status.to_dict()) is status
+
+    @settings(deadline=None)
+    @given(site_statuses)
+    def test_site_status_round_trips(self, ss):
+        assert SiteStatus.from_dict(ss.to_dict()) == ss
+
+    @settings(deadline=None)
+    @given(topology_graphs())
+    def test_graph_round_trips_bytes(self, graph):
+        d = graph.to_dict()
+        assert TopologyGraph.from_dict(d).to_dict() == d
+        assert canonical_json(TopologyGraph.from_dict(d).to_dict()) == canonical_json(d)
+
+
+class TestSchemaDiscipline:
+    def test_unknown_schema_rejected(self):
+        d = FlowAnswer(src="a", dst="b", available_bps=1.0, bottleneck_bps=1.0,
+                       capacity_bps=1.0, latency_s=0.0, jitter_s=0.0, path=()).to_dict()
+        d["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            Answer.from_dict(d)
+
+    def test_unknown_kind_rejected(self):
+        d = NodeAnswer(ip="a", load=None).to_dict()
+        d["kind"] = "martian"
+        with pytest.raises(ValueError, match="kind"):
+            Answer.from_dict(d)
+
+    def test_kind_discriminators_are_stable(self):
+        # wire compatibility: these strings are the v1 contract
+        assert FlowAnswer.KIND == "flow"
+        assert NodeAnswer.KIND == "node"
+        assert TopologyAnswer.KIND == "topology"
+        assert Answer.from_dict(NodeAnswer(ip="x", load=2.5).to_dict()).load == 2.5
+
+    def test_infinite_capacity_survives_the_wire(self):
+        import json
+
+        ans = FlowAnswer(src="a", dst="b", available_bps=1.0, bottleneck_bps=1.0,
+                         capacity_bps=math.inf, latency_s=0.0, jitter_s=0.0, path=())
+        over_wire = json.loads(canonical_json(ans.to_dict()))
+        assert Answer.from_dict(over_wire).capacity_bps == math.inf
