@@ -129,7 +129,7 @@ class RemosDeployment:
         flow queries are then answered from the amortized fits instead
         of a client-server fit per query.  Returns the managers.
         """
-        from repro.collectors.streaming import StreamingPredictionManager
+        from repro.rps.streaming import StreamingPredictionManager
 
         managers = []
         for coll in self.snmp_collectors.values():

@@ -39,9 +39,11 @@ Scripted faults (invoked from test/experiment code at a chosen time):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Iterator
 
 from repro import obs
 from repro.common.rng import make_rng
+from repro.netsim.topology import Link, Network
 
 log = obs.get_logger(__name__)
 
@@ -138,17 +140,17 @@ class FaultInjector:
 
     # -- hooks consulted by the stack ---------------------------------
 
-    def drop_pdu(self, ip) -> bool:
+    def drop_pdu(self, ip: object) -> bool:
         """Should this PDU be silently dropped (client times out)?"""
         return self._fire("snmp_drop", self.plan.snmp_drop_prob)
 
-    def pdu_delay_s(self, ip) -> float:
+    def pdu_delay_s(self, ip: object) -> float:
         """Extra latency to charge on an answered PDU (usually 0)."""
         if self._fire("snmp_delay", self.plan.snmp_delay_prob):
             return self.plan.snmp_delay_s
         return 0.0
 
-    def counter_read(self, ip, oid, value: float) -> float:
+    def counter_read(self, ip: object, oid: object, value: float) -> float:
         """Mangle one octet-counter reading (reset rebase, 32-bit wrap)."""
         key = (str(ip), str(oid))
         if self._fire("counter_reset", self.plan.counter_reset_prob):
@@ -178,7 +180,7 @@ class FaultInjector:
         return 0.0
 
 
-def install(dep, plan: FaultPlan) -> FaultInjector:
+def install(dep: Any, plan: FaultPlan) -> FaultInjector:
     """Arm a deployment: inject per ``plan`` and apply its survival policy.
 
     Sets ``dep.net.faults`` (consulted by the SNMP client and the
@@ -201,7 +203,7 @@ def install(dep, plan: FaultPlan) -> FaultInjector:
     return injector
 
 
-def uninstall(dep) -> None:
+def uninstall(dep: Any) -> None:
     """Disarm: stop injecting and restore zero-overhead defaults."""
     dep.net.faults = None
     for client in _clients(dep):
@@ -213,7 +215,7 @@ def uninstall(dep) -> None:
     log.info("fault plan uninstalled")
 
 
-def _clients(dep):
+def _clients(dep: Any) -> Iterator[Any]:
     groups = (
         dep.snmp_collectors.values(),
         dep.bridge_collectors.values(),
@@ -229,7 +231,7 @@ def _clients(dep):
 # -- scripted faults ---------------------------------------------------
 
 
-def crash_collector(collector, down_s: float) -> None:
+def crash_collector(collector: Any, down_s: float) -> None:
     """Crash a collector for ``down_s`` simulated seconds.
 
     While crashed it refuses queries (:class:`CollectorUnavailableError`
@@ -251,7 +253,7 @@ def crash_collector(collector, down_s: float) -> None:
     engine.after(down_s, _restart)
 
 
-def crash_shard(master, shard_index: int, down_s: float,
+def crash_shard(master: Any, shard_index: int, down_s: float,
                 include_replicas: bool = True) -> None:
     """Crash one shard of a :class:`~repro.collectors.sharding.ShardedMaster`.
 
@@ -267,7 +269,7 @@ def crash_shard(master, shard_index: int, down_s: float,
     for m in targets:
         m.crashed_until = engine.now + down_s
 
-        def _restart(mm=m) -> None:
+        def _restart(mm: Any = m) -> None:
             mm.crashed_until = None
 
         engine.after(down_s, _restart)
@@ -278,7 +280,7 @@ def crash_shard(master, shard_index: int, down_s: float,
     )
 
 
-def crash_agent(world, ip, down_s: float | None = None) -> None:
+def crash_agent(world: Any, ip: object, down_s: float | None = None) -> None:
     """Take one SNMP agent down (optionally restoring after ``down_s``)."""
     agent = world.agent_at(ip)
     if agent is None:
@@ -292,7 +294,9 @@ def crash_agent(world, ip, down_s: float | None = None) -> None:
         world.net.engine.after(down_s, _restore)
 
 
-def spike_link_latency(net, link, extra_s: float, duration_s: float | None = None) -> None:
+def spike_link_latency(
+    net: Network, link: Link, extra_s: float, duration_s: float | None = None
+) -> None:
     """Add a delay spike to one link (optionally reverting later)."""
     link.latency_s += extra_s
     _record_fault("latency_spike")
@@ -303,7 +307,9 @@ def spike_link_latency(net, link, extra_s: float, duration_s: float | None = Non
         net.engine.after(duration_s, _revert)
 
 
-def degrade_link(net, link, factor: float, duration_s: float | None = None) -> None:
+def degrade_link(
+    net: Network, link: Link, factor: float, duration_s: float | None = None
+) -> None:
     """Cut a link's usable capacity to ``factor`` of its current value.
 
     The fluid model has no packets, so sustained packet loss appears as

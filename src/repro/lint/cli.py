@@ -10,7 +10,8 @@ from pathlib import Path
 from repro.lint.baseline import Baseline
 from repro.lint.config import LintConfig, load_config
 from repro.lint.engine import apply_fixes, lint_paths
-from repro.lint.rules import make_rules, rule_catalogue
+from repro.lint.project import Project, lint_project
+from repro.lint.rules import make_project_rules, make_rules, rule_catalogue
 
 EXIT_OK = 0
 EXIT_VIOLATIONS = 1
@@ -33,6 +34,11 @@ def configure_parser(p: argparse.ArgumentParser) -> argparse.ArgumentParser:
     p.add_argument(
         "--ignore", default="",
         help="comma-separated rule codes to skip",
+    )
+    p.add_argument(
+        "--project", action="store_true",
+        help="also run the whole-program RML1xx rules (module graph + "
+             "call graph over src, tests, benchmarks, examples)",
     )
     p.add_argument(
         "--no-baseline", action="store_true",
@@ -71,11 +77,11 @@ def run_from_args(args: argparse.Namespace) -> int:
 
     root = Path(args.root)
     config = load_config(root)
-    rules = make_rules(
-        select=[c for c in args.select.split(",") if c],
-        ignore=[c for c in args.ignore.split(",") if c],
-    )
-    if not rules:
+    select = [c for c in args.select.split(",") if c]
+    ignore = [c for c in args.ignore.split(",") if c]
+    rules = make_rules(select=select, ignore=ignore)
+    project_rules = make_project_rules(select=select, ignore=ignore) if args.project else []
+    if not rules and not project_rules:
         print("error: no rules selected", file=sys.stderr)
         return EXIT_USAGE
     paths = (
@@ -90,8 +96,15 @@ def run_from_args(args: argparse.Namespace) -> int:
 
     baseline_path = root / config.baseline
 
+    def project_violations():
+        if not project_rules:
+            return []
+        return lint_project(Project.build(root, config), project_rules)
+
     if args.write_baseline:
-        report = lint_paths(paths, rules, config, baseline=None)
+        report = lint_paths(
+            paths, rules, config, baseline=None, extra=project_violations()
+        )
         previous = Baseline.load(baseline_path)
         Baseline.from_violations(report.violations, previous).save(baseline_path)
         print(
@@ -101,13 +114,17 @@ def run_from_args(args: argparse.Namespace) -> int:
         return EXIT_OK
 
     baseline = None if args.no_baseline else Baseline.load(baseline_path)
-    report = lint_paths(paths, rules, config, baseline=baseline)
+    report = lint_paths(
+        paths, rules, config, baseline=baseline, extra=project_violations()
+    )
 
     if args.fix and report.violations:
         applied = apply_fixes(report.violations, root)
         if applied:
             print(f"applied {applied} autofix(es); re-linting")
-            report = lint_paths(paths, rules, config, baseline=baseline)
+            report = lint_paths(
+                paths, rules, config, baseline=baseline, extra=project_violations()
+            )
 
     failed = bool(report.violations) or bool(report.errors)
     if args.check_baseline and report.stale_entries:

@@ -39,6 +39,10 @@ class LintConfig:
     baseline: str = "lint-baseline.json"
     #: rule code -> {"exclude": [path prefixes]}
     per_rule: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: layer names, rank 0 (foundation) upward — [tool.remoslint.layers] order
+    layers_order: list[str] = field(default_factory=list)
+    #: layer name -> module prefixes — [tool.remoslint.layers.assign]
+    layers_assign: dict[str, list[str]] = field(default_factory=dict)
     #: directory paths are resolved against; repo root in normal runs
     root: Path = field(default_factory=Path.cwd)
 
@@ -70,6 +74,18 @@ def load_config(root: Path | None = None) -> LintConfig:
             for code, opts in per_rule.items()
             if isinstance(opts, dict)
         }
+    layers = section.get("layers", {})
+    if isinstance(layers, dict):
+        order = layers.get("order")
+        if isinstance(order, list):
+            cfg.layers_order = [str(v) for v in order]
+        assign = layers.get("assign", {})
+        if isinstance(assign, dict):
+            cfg.layers_assign = {
+                str(layer): [str(p) for p in prefixes]
+                for layer, prefixes in assign.items()
+                if isinstance(prefixes, list)
+            }
     return cfg
 
 

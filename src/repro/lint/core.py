@@ -10,9 +10,8 @@ filesystem themselves — the engine hands them a parsed
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field, replace
-from pathlib import Path
-from typing import ClassVar, Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import ClassVar, Iterator
 
 
 @dataclass(frozen=True)
@@ -43,6 +42,9 @@ class Violation:
     #: baseline fingerprint
     line_text: str = ""
     fix: Fix | None = None
+    #: extra lines where an inline pragma also suppresses this violation
+    #: (for decorated defs: the decorator lines above the reported line)
+    pragma_lines: tuple[int, ...] = ()
 
     def fingerprint(self) -> tuple[str, str, str]:
         """Identity for baseline matching: survives pure line moves."""
@@ -76,6 +78,14 @@ class FileContext:
     ) -> Violation:
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
+        # a decorated def reports at the `def` line, but a pragma on any
+        # of its decorator lines must suppress it too — decorators are
+        # part of the same statement as far as the author is concerned
+        decorators = getattr(node, "decorator_list", None) or []
+        pragma_lines: tuple[int, ...] = ()
+        if decorators:
+            first = min(d.lineno for d in decorators)
+            pragma_lines = tuple(range(first, line))
         return Violation(
             code=rule.code,
             path=self.path,
@@ -84,6 +94,7 @@ class FileContext:
             message=message,
             line_text=self.line_text(line),
             fix=fix,
+            pragma_lines=pragma_lines,
         )
 
 
@@ -191,12 +202,3 @@ class ImportMap:
         return None
 
 
-def iter_violations(rules: Iterable[Rule], ctx: FileContext) -> Iterator[Violation]:
-    for rule in rules:
-        if ctx.path and not rule.applies_to(ctx.path):
-            continue
-        yield from rule.check(ctx)
-
-
-def with_path(v: Violation, path: str) -> Violation:
-    return replace(v, path=path)

@@ -49,8 +49,11 @@ class PragmaSet:
     def suppresses(self, v: Violation) -> bool:
         if v.code in self.whole_file or "ALL" in self.whole_file:
             return True
-        codes = self.by_line.get(v.line, ())
-        return v.code in codes or "ALL" in codes
+        for line in (v.line, *v.pragma_lines):
+            codes = self.by_line.get(line, ())
+            if v.code in codes or "ALL" in codes:
+                return True
+        return False
 
 
 @dataclass
@@ -143,7 +146,11 @@ def lint_paths(
     rules: list[Rule],
     config: LintConfig,
     baseline: Baseline | None = None,
+    extra: list[Violation] | None = None,
 ) -> LintReport:
+    """Lint files with per-file rules; ``extra`` merges pre-filtered
+    violations (the project rules' output) into the same sort, baseline
+    partition, and report."""
     report = LintReport()
     root = config.root
     all_violations: list[Violation] = []
@@ -171,6 +178,8 @@ def lint_paths(
             for v in rule.check(ctx):
                 if not pragmas.suppresses(v):
                     all_violations.append(v)
+    if extra:
+        all_violations.extend(extra)
     all_violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     if baseline is None:
         report.violations = all_violations

@@ -1,0 +1,148 @@
+"""Project-level analysis: parse the whole tree once, run RML1xx rules.
+
+``repro lint`` runs per-file rules against one AST at a time; ``repro
+lint --project`` additionally builds a :class:`~repro.lint.callgraph.
+CallGraph` over ``src`` plus the consumer trees (``tests``,
+``benchmarks``, ``examples``) and hands it to :class:`ProjectRule`
+plugins.  Project violations flow through exactly the same machinery
+as per-file ones — inline pragmas, per-rule path excludes, and the
+fingerprint baseline all apply — so one report and one gate cover
+both families.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.lint.callgraph import CallGraph, FunctionInfo, ModuleInfo
+from repro.lint.config import LintConfig
+from repro.lint.core import Violation, _prefix_match
+from repro.lint.engine import PragmaSet, iter_python_files
+
+#: directories (beyond the configured source paths) whose references
+#: count when deciding whether an export is alive, and whose call sites
+#: are part of the status-discipline graph
+CONSUMER_TREES = ("tests", "benchmarks", "examples")
+
+
+class Project:
+    """Every parsed file, the call graph, and the lint config."""
+
+    def __init__(self, root: Path, config: LintConfig) -> None:
+        self.root = root
+        self.config = config
+        self.graph = CallGraph()
+        #: repo-relative path -> source text (for pragma filtering)
+        self.sources: dict[str, str] = {}
+        #: repo-relative path -> parse error
+        self.errors: dict[str, str] = {}
+
+    @classmethod
+    def build(cls, root: Path, config: LintConfig) -> "Project":
+        project = cls(root, config)
+        roots = [root / p for p in config.paths]
+        roots += [root / t for t in CONSUMER_TREES if (root / t).is_dir()]
+        for file in iter_python_files(roots, config.exclude, root):
+            try:
+                rel = file.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                rel = file.as_posix()
+            if rel in project.sources:
+                continue
+            source = file.read_text()
+            try:
+                tree = ast.parse(source)
+            except SyntaxError as exc:
+                project.errors[rel] = f"syntax error: {exc}"
+                continue
+            project.sources[rel] = source
+            project.graph.add_module(rel, source, tree)
+        project.graph.finish()
+        return project
+
+    # -- convenience views used by several rules -----------------------
+
+    def src_modules(self) -> Iterator[ModuleInfo]:
+        """Modules of the shipped package (dotted name under ``repro``)."""
+        for info in self.graph.modules.values():
+            if info.name == "repro" or info.name.startswith("repro."):
+                yield info
+
+    def functions_under(self, module_prefix: str) -> Iterator[FunctionInfo]:
+        for fn in self.graph.functions.values():
+            if fn.module == module_prefix or fn.module.startswith(module_prefix + "."):
+                yield fn
+
+
+class ProjectRule:
+    """Base class for whole-program rules (the RML1xx family).
+
+    Same plugin contract as :class:`~repro.lint.core.Rule` — code,
+    name, rationale — but ``check`` sees the whole :class:`Project`
+    instead of one file, and each yielded :class:`Violation` must carry
+    the repo-relative ``path`` it points at (pragmas and per-rule
+    excludes are applied per violation, by that path).
+    """
+
+    code: str = "RML100"
+    name: str = "abstract-project-rule"
+    rationale: str = ""
+    autofixable: bool = False
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.code}>"
+
+
+def violation_at(
+    rule: ProjectRule,
+    project: Project,
+    path: str,
+    node: ast.AST,
+    message: str,
+) -> Violation:
+    """Build a Violation for an AST node of a parsed project file.
+
+    Mirrors :meth:`FileContext.violation`, including the decorated-def
+    pragma range, but reads the line text from the project's source
+    cache.
+    """
+    line = getattr(node, "lineno", 1)
+    col = getattr(node, "col_offset", 0)
+    source = project.sources.get(path, "")
+    lines = source.splitlines()
+    text = lines[line - 1].strip() if 1 <= line <= len(lines) else ""
+    decorators = getattr(node, "decorator_list", None) or []
+    pragma_lines: tuple[int, ...] = ()
+    if decorators:
+        first = min(d.lineno for d in decorators)
+        pragma_lines = tuple(range(first, line))
+    return Violation(
+        code=rule.code, path=path, line=line, col=col,
+        message=message, line_text=text, pragma_lines=pragma_lines,
+    )
+
+
+def lint_project(project: Project, rules: list[ProjectRule]) -> list[Violation]:
+    """Run project rules; apply pragmas and per-rule path excludes.
+
+    Returns violations ready to merge with the per-file report (the
+    caller sorts and partitions against the baseline).
+    """
+    pragmas: dict[str, PragmaSet] = {}
+    out: list[Violation] = []
+    for rule in rules:
+        excludes = project.config.rule_excludes(rule.code)
+        for v in rule.check(project):
+            if any(_prefix_match(v.path, ex) for ex in excludes):
+                continue
+            if v.path not in pragmas:
+                pragmas[v.path] = PragmaSet.of(project.sources.get(v.path, ""))
+            if pragmas[v.path].suppresses(v):
+                continue
+            out.append(v)
+    return out

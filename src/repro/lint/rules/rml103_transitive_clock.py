@@ -1,0 +1,93 @@
+"""RML103 — sim-clock purity, transitively through the call graph.
+
+RML001 bans wall-clock reads *lexically inside* the sim-facing layers
+(netsim, snmp, collectors, faults, rps).  That leaves a hole: a
+collector entry point that calls a helper in some other module which
+calls ``time.time()`` still couples the run to the wall clock, and
+RML001 never sees it because the read sits outside its path scope.
+
+This rule starts from every public entry point defined in RML001's
+scope and walks the call graph through *any* project module, flagging
+reachable wall-clock sinks that live outside that scope (inside it,
+RML001 already reports the read directly — no double jeopardy).
+``repro.obs`` is the sanctioned sink package (``obs.timebase`` is how
+a sim layer is *supposed* to read a wall clock) and ``repro.lint``
+analyses rather than participates, so neither is traversed.
+
+The finding is reported at the entry point's ``def`` line — that is
+the contract being broken ("calling this couples you to the wall
+clock"), and the place a pragma belongs if the reach is intended.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.core import Violation, _prefix_match
+from repro.lint.project import Project, ProjectRule, violation_at
+from repro.lint.rules.rml001_sim_clock import BANNED, SimClockPurityRule
+
+#: packages never traversed: sanctioned clock sinks and the analyzer
+EXCLUDED_PACKAGES = ("repro.obs", "repro.lint")
+
+
+class TransitiveClockRule(ProjectRule):
+    code = "RML103"
+    name = "sim-clock-purity-transitive"
+    rationale = (
+        "a sim-layer entry point that can *reach* a wall-clock read is "
+        "as seed-breaking as one that contains it; obs.timebase is the "
+        "sanctioned sink"
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        graph = project.graph
+        scope = SimClockPurityRule.scope
+        entries = [
+            fn for fn in graph.functions.values()
+            if fn.public and any(_prefix_match(fn.path, sc) for sc in scope)
+        ]
+        for entry in sorted(entries, key=lambda f: f.qname):
+            seen = {entry.qname}
+            stack = [(entry.qname, [entry.qname])]
+            found: set[str] = set()
+            while stack:
+                qname, chain = stack.pop()
+                holder = graph.functions[qname]
+                in_scope = any(_prefix_match(holder.path, sc) for sc in scope)
+                for edge in graph.edges_from(qname):
+                    if (
+                        edge.external in BANNED
+                        and not in_scope  # inside scope RML001 reports it
+                        and edge.external not in found
+                    ):
+                        found.add(edge.external)
+                        via = " -> ".join(_short(q) for q in chain)
+                        yield violation_at(
+                            self, project, entry.path, entry.node,
+                            f"{_short(entry.qname)} can reach wall-clock "
+                            f"call {edge.external} (via {via} at "
+                            f"{holder.path}:{edge.lineno}); "
+                            f"{BANNED[edge.external]}",
+                        )
+                    callee = edge.callee
+                    if callee is None or callee in seen:
+                        continue
+                    target = graph.functions.get(callee)
+                    if target is None or _excluded(target.module):
+                        continue
+                    if not target.module.startswith("repro"):
+                        continue  # tests/benchmarks may read clocks freely
+                    seen.add(callee)
+                    stack.append((callee, chain + [callee]))
+
+
+def _excluded(module: str) -> bool:
+    return any(
+        module == pkg or module.startswith(pkg + ".") for pkg in EXCLUDED_PACKAGES
+    )
+
+
+def _short(qname: str) -> str:
+    parts = qname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else qname

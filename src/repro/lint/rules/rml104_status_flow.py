@@ -1,0 +1,315 @@
+"""RML104 — Answer-status discipline, interprocedural.
+
+RML004 discharges its obligation the moment an Answer escapes into a
+call: ``plot(ans)`` moves the duty to ``plot``.  But if ``plot`` never
+looks at ``.status`` either, PARTIAL and STALE data is trusted
+silently and *neither* file shows a violation.  This rule closes the
+hand-off: it summarises, for every function in the project, which
+parameters have their data fields read on a path where ``.status`` /
+``.ok`` / ``.degraded`` was never consulted (propagating through
+forwarding chains with a call-graph fixpoint), then flags the call
+sites that feed an unchecked Answer into such a function.
+
+Conservative by construction:
+
+* a parameter that is checked anywhere in the callee, returned,
+  yielded, stored, or passed into a call we cannot resolve is assumed
+  handled — only a definite read-without-check summary fires;
+* a caller that checks the answer itself before (or after) the call is
+  never flagged — the status was consulted on some path.
+
+The session facade and ``modeler.api`` construct the answers they
+return; their internals legitimately touch data fields, so functions
+defined there are never summarised as offenders (same exemption as
+RML004).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.lint.callgraph import CallGraph, FunctionInfo
+from repro.lint.core import Violation, _prefix_match, dotted_name
+from repro.lint.project import Project, ProjectRule
+from repro.lint.rules.rml004_status import QUERY_METHODS, STATUS_ATTRS
+
+#: modules whose call sites are analysed (tests may ignore status)
+CALLER_PREFIXES = ("repro", "examples", "benchmarks")
+
+#: paths whose functions are never summarised as unchecked consumers
+EXEMPT_PATHS = ("src/repro/session.py", "src/repro/modeler/api.py")
+
+
+@dataclass
+class _Summary:
+    """Per-function parameter facts feeding the fixpoint."""
+
+    params: tuple[str, ...]
+    checked: set[str] = field(default_factory=set)
+    consumed: set[str] = field(default_factory=set)
+    escaped: set[str] = field(default_factory=set)
+    #: (param, callee qname, slot) — slot is an int position or kw name
+    forwards: list[tuple[str, str, "int | str"]] = field(default_factory=list)
+
+
+class StatusFlowRule(ProjectRule):
+    code = "RML104"
+    name = "answer-status-flow"
+    rationale = (
+        "passing an unchecked Answer to a function that reads its data "
+        "without consulting .status hides PARTIAL/STALE results across "
+        "the call boundary"
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        graph = project.graph
+        summaries = {
+            qname: _summarise(graph, fn)
+            for qname, fn in graph.functions.items()
+        }
+        unchecked = _fixpoint(graph, summaries)
+        yield from self._scan_callers(project, unchecked)
+
+    # -- caller side ---------------------------------------------------
+
+    def _scan_callers(
+        self, project: Project, unchecked: set[tuple[str, str]]
+    ) -> Iterator[Violation]:
+        graph = project.graph
+        for info in sorted(graph.modules.values(), key=lambda m: m.path):
+            if not any(
+                info.name == p or info.name.startswith(p + ".")
+                for p in CALLER_PREFIXES
+            ):
+                continue
+            if any(_prefix_match(info.path, ex) for ex in EXEMPT_PATHS):
+                continue
+            scopes: list[ast.AST] = [info.tree]
+            for qname in info.functions:
+                scopes.append(graph.functions[qname].node)
+            for scope in scopes:
+                cls = None
+                if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    for qname in info.functions:
+                        if graph.functions[qname].node is scope:
+                            cls = graph.functions[qname].cls
+                yield from self._scan_scope(project, info, scope, cls, unchecked)
+
+    def _scan_scope(
+        self,
+        project: Project,
+        info,
+        scope: ast.AST,
+        cls: str | None,
+        unchecked: set[tuple[str, str]],
+    ) -> Iterator[Violation]:
+        graph = project.graph
+        candidates: dict[str, int] = {}
+        checked: set[str] = set()
+        handoffs: list[tuple[str, str, str, ast.Call]] = []
+        for node in _body_walk(scope):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and _is_query_call(node.value)
+            ):
+                candidates[node.targets[0].id] = node.lineno
+            elif (
+                isinstance(node, ast.For)
+                and isinstance(node.target, ast.Name)
+                and _is_query_call(node.iter)
+            ):
+                candidates[node.target.id] = node.lineno
+            elif isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                if node.attr in STATUS_ATTRS:
+                    checked.add(node.value.id)
+            if isinstance(node, ast.Call):
+                callee = _resolve_call(graph, info, node, cls)
+                if callee is None:
+                    continue
+                fn = graph.functions.get(callee)
+                if fn is None:
+                    continue
+                for slot, arg in _arg_slots(node):
+                    if not isinstance(arg, ast.Name):
+                        continue
+                    param = _slot_to_param(fn, slot)
+                    if param is not None and (callee, param) in unchecked:
+                        handoffs.append((arg.id, callee, param, node))
+
+        for name, callee, param, call in handoffs:
+            if name not in candidates or name in checked:
+                continue
+            lines = project.sources.get(info.path, "").splitlines()
+            text = (
+                lines[call.lineno - 1].strip()
+                if 1 <= call.lineno <= len(lines) else ""
+            )
+            yield Violation(
+                code=self.code, path=info.path,
+                line=call.lineno, col=call.col_offset,
+                message=(
+                    f"answer {name!r} is passed to {callee} (parameter "
+                    f"{param!r}), which reads its data fields without ever "
+                    "checking .status/.ok/.degraded — PARTIAL or STALE "
+                    "data would be trusted silently"
+                ),
+                line_text=text,
+            )
+
+
+# -- callee summaries ------------------------------------------------------
+
+
+def _summarise(graph: CallGraph, fn: FunctionInfo) -> _Summary:
+    s = _Summary(params=fn.params)
+    params = set(fn.params)
+    for node in _body_walk(fn.node):
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            name = node.value.id
+            if name in params:
+                if node.attr in STATUS_ATTRS:
+                    s.checked.add(name)
+                else:
+                    s.consumed.add(name)
+        elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            for name in _names_in(node.value):
+                if name in params:
+                    s.escaped.add(name)
+        elif isinstance(node, ast.Assign):
+            # storing the parameter (self.x = ans) defers the obligation
+            for name in _names_in(node.value):
+                if name in params and not isinstance(node.value, ast.Attribute):
+                    s.escaped.add(name)
+        elif isinstance(node, ast.Call):
+            info = graph.modules.get(fn.module)
+            callee = _resolve_call(graph, info, node, fn.cls) if info else None
+            for slot, arg in _arg_slots(node):
+                if not isinstance(arg, ast.Name) or arg.id not in params:
+                    continue
+                if callee is None or callee not in graph.functions:
+                    # handed to something we can't see: assume handled
+                    s.escaped.add(arg.id)
+                    continue
+                target = graph.functions[callee]
+                param = _slot_to_param(target, slot)
+                if param is None:
+                    s.escaped.add(arg.id)
+                else:
+                    s.forwards.append((arg.id, callee, slot))
+    return s
+
+
+def _fixpoint(
+    graph: CallGraph, summaries: dict[str, _Summary]
+) -> set[tuple[str, str]]:
+    """(qname, param) pairs that read data without ever checking status."""
+    exempt = {
+        qname for qname, fn in graph.functions.items()
+        if any(_prefix_match(fn.path, ex) for ex in EXEMPT_PATHS)
+        or fn.module.startswith("tests")
+    }
+    unchecked: set[tuple[str, str]] = set()
+    for qname, s in summaries.items():
+        if qname in exempt:
+            continue
+        for p in s.consumed:
+            if p not in s.checked and p not in s.escaped:
+                unchecked.add((qname, p))
+    for _ in range(10):  # forwarding chains are short; cap the fixpoint
+        grew = False
+        for qname, s in summaries.items():
+            if qname in exempt:
+                continue
+            for p, callee, slot in s.forwards:
+                if p in s.checked or p in s.escaped or (qname, p) in unchecked:
+                    continue
+                target = graph.functions.get(callee)
+                if target is None:
+                    continue
+                param = _slot_to_param(target, slot)
+                if param is not None and (callee, param) in unchecked:
+                    unchecked.add((qname, p))
+                    grew = True
+        if not grew:
+            break
+    return unchecked
+
+
+# -- small shared helpers --------------------------------------------------
+
+
+def _body_walk(scope: ast.AST) -> Iterator[ast.AST]:
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_query_call(node: ast.AST | None) -> bool:
+    call = node
+    if isinstance(call, ast.Subscript):
+        call = call.value
+    return (
+        isinstance(call, ast.Call)
+        and isinstance(call.func, ast.Attribute)
+        and call.func.attr in QUERY_METHODS
+    )
+
+
+def _names_in(node: ast.AST | None) -> Iterator[str]:
+    if node is None:
+        return
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+
+
+def _resolve_call(
+    graph: CallGraph, info, node: ast.Call, cls: str | None
+) -> str | None:
+    """Resolve a call target to a function qname (module-level view)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        hit = graph.resolve_callee(f"{info.name}.{func.id}")
+        if hit is not None:
+            return hit
+        resolved = info.import_map.resolve(func)
+        if resolved is not None:
+            return graph.resolve_callee(resolved)
+        return None
+    if isinstance(func, ast.Attribute):
+        dn = dotted_name(func)
+        if dn is not None and cls is not None and dn == f"self.{func.attr}":
+            return graph.resolve_callee(f"{cls}.{func.attr}")
+        resolved = info.import_map.resolve(func)
+        if resolved is not None:
+            return graph.resolve_callee(resolved)
+    return None
+
+
+def _arg_slots(node: ast.Call) -> Iterator[tuple["int | str", ast.expr]]:
+    for i, arg in enumerate(node.args):
+        yield i, arg
+    for kw in node.keywords:
+        if kw.arg is not None:
+            yield kw.arg, kw.value
+
+
+def _method_offset(fn: FunctionInfo) -> int:
+    return 1 if fn.cls is not None and fn.params[:1] in (("self",), ("cls",)) else 0
+
+
+def _slot_to_param(fn: FunctionInfo, slot: "int | str") -> str | None:
+    if isinstance(slot, str):
+        return slot if slot in fn.params else None
+    idx = slot + _method_offset(fn)
+    if 0 <= idx < len(fn.params):
+        return fn.params[idx]
+    return None

@@ -9,7 +9,6 @@ prediction experiments.
 
 from __future__ import annotations
 
-from typing import Callable
 
 import numpy as np
 
@@ -36,11 +35,6 @@ class TraceLoadSource:
     def __call__(self, now: float) -> float:
         k = int((now - self.t0) / self.dt) % self.trace.size
         return float(self.trace[k])
-
-
-def attach_load(host: Host, source: Callable[[float], float]) -> None:
-    """Attach a load source to a host (replacing any existing one)."""
-    host.load_source = source
 
 
 def attach_trace(host: Host, trace: np.ndarray, dt: float = 1.0) -> TraceLoadSource:

@@ -29,15 +29,27 @@ import json
 import logging
 from collections import deque
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import Protocol
 
 from repro.obs import traceview
 from repro.obs.log import ROOT as LOG_ROOT
-from repro.obs.registry import MetricsRegistry, NullRegistry
+from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import SpanRecord
 
-if TYPE_CHECKING:  # pragma: no cover - types only
-    from repro.modeler.api import Answer
+
+class DegradableAnswer(Protocol):
+    """The slice of the Answer family the recorder hook needs.
+
+    ``obs`` sits at the bottom of the layer DAG and must not import
+    the modeler that defines :class:`~repro.modeler.api.Answer` —
+    callers from above satisfy this protocol structurally.
+    """
+
+    @property
+    def status(self) -> object: ...
+
+    @property
+    def trace_id(self) -> "str | None": ...
 
 #: dump payload version, bumped on incompatible shape changes
 DUMP_VERSION = 1
@@ -124,7 +136,7 @@ class FlightRecorder:
 
     # -- triggers ------------------------------------------------------
 
-    def on_answer(self, answer: "Answer") -> None:
+    def on_answer(self, answer: DegradableAnswer) -> None:
         """Session hook: dump when an answer comes back degraded."""
         status = getattr(answer.status, "name", str(answer.status))
         if status in ("FAILED", "PARTIAL"):
@@ -227,10 +239,3 @@ def load_dump(path: str | Path) -> dict[str, object]:
     if not isinstance(data, dict) or "spans" not in data:
         raise ValueError(f"{path}: not a flight-recorder dump")
     return data
-
-
-def recorder_for(
-    registry: "MetricsRegistry | NullRegistry",
-) -> FlightRecorder | None:
-    """The flight recorder attached to a registry, if any."""
-    return registry.flight_recorder

@@ -143,18 +143,30 @@ class FlowBandwidthSensor:
     """Periodically issues flow queries and streams the answers.
 
     This sensor *is* a Remos application: it exercises the full
-    Modeler -> Master -> collectors path on every sample.
+    Modeler -> Master -> collectors path on every sample.  Being an
+    application, it consumes the session API from *above* — callers
+    hand it a session-like object (anything with ``flow_info`` and a
+    ``modeler``, normally ``deployment.session()``); the rps layer
+    never constructs a session itself, which would invert the layer
+    DAG (rps sits below the session facade).
     """
 
     def __init__(
         self,
-        modeler,
+        session,
         src,
         dst,
         predictor: StreamingPredictor | None = None,
         period_s: float = 10.0,
     ) -> None:
-        self.modeler = modeler
+        if not hasattr(session, "flow_info"):
+            raise TypeError(
+                "FlowBandwidthSensor takes a session-like object with a "
+                ".flow_info method (e.g. deployment.session()), not a "
+                f"bare {type(session).__name__!r}"
+            )
+        self.session = session
+        self.modeler = session.modeler
         self.src = src
         self.dst = dst
         self.predictor = predictor
@@ -173,9 +185,7 @@ class FlowBandwidthSensor:
             self._timer = None
 
     def tick(self) -> None:
-        from repro.session import RemosSession
-
-        ans = RemosSession(self.modeler).flow_info(self.src, self.dst)
+        ans = self.session.flow_info(self.src, self.dst)
         if ans.status is QueryStatus.FAILED:
             # the strict path used to raise here; record no sample and
             # keep the timer alive so sensing resumes with the network

@@ -14,6 +14,14 @@ polling sweep it feeds each monitored link's fresh rate sample into a
 per-(link, direction) :class:`~repro.rps.predictor.StreamingPredictor`.
 Modelers then read forecasts without paying a model fit per query —
 the other side of the client-server/streaming trade-off Fig. 7 prices.
+
+This lives in ``repro.rps`` (not ``repro.collectors``) because the
+dependency points *up* the stack: the manager consumes a collector's
+poll hooks and drives RPS predictors, so placing it beside the
+predictors keeps the collectors layer free of any knowledge of
+prediction (the RML101 layer contract).  The metric names keep their
+historical ``collectors.streaming.*`` prefix — they describe where the
+samples are observed, and renaming them would orphan dashboards.
 """
 
 from __future__ import annotations

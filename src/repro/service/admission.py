@@ -31,7 +31,7 @@ from repro.service.wire import WireError
 __all__ = ["LastKnownGoodStore", "AdmissionController"]
 
 
-def _iter_answer_dicts(payload: Any) -> Iterable[dict]:
+def _iter_answer_dicts(payload: Any) -> Iterable[dict[str, Any]]:
     if isinstance(payload, dict):
         yield payload
     elif isinstance(payload, list):
@@ -95,7 +95,7 @@ class LastKnownGoodStore:
         stale = QueryStatus.STALE.to_dict()
         ok = QueryStatus.OK.to_dict()
 
-        def restamp(d: dict) -> dict:
+        def restamp(d: dict[str, Any]) -> dict[str, Any]:
             out = dict(d)
             if out.get("status") == ok:
                 out["status"] = stale

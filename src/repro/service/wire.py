@@ -58,7 +58,7 @@ class WireError(Exception):
     the edge.
     """
 
-    def __init__(self, code: str, message: str, *, retry_after_s: float = 0.0):
+    def __init__(self, code: str, message: str, *, retry_after_s: float = 0.0) -> None:
         if code not in ERROR_CODES:
             raise ValueError(f"unknown wire error code: {code!r}")
         super().__init__(message)

@@ -15,15 +15,12 @@ Bridge Collector walks (dot1dBase, dot1dTpFdbTable).
 from __future__ import annotations
 
 import bisect
-from typing import Callable
 
 from repro.common.errors import NoSuchObjectError
 from repro.netsim.address import IPv4Address
 from repro.netsim.topology import Network, Router, Switch
 from repro.snmp import oid as O
 from repro.snmp.oid import Oid
-
-Provider = "object | Callable[[], object]"
 
 
 class MibStore:
@@ -78,9 +75,16 @@ def _mac_suffix(mac) -> tuple[int, ...]:
     return mac.octets()
 
 
+#: sysObjectID kind codes under :data:`repro.snmp.oid.SYS_OBJECT_ID_BASE`
+_KIND_CODE = {"host": 1, "router": 2, "switch": 3, "hub": 4, "basestation": 5}
+
+
 def _put_if_table(store: MibStore, device, net: Network) -> None:
     """Populate system + ifTable rows for any device."""
     store.put(O.SYS_DESCR, f"repro simulated {device.kind}")
+    # sysObjectID identifies the device model; point it at a synthetic
+    # per-kind OID so collectors can tell device classes apart
+    store.put(O.SYS_OBJECT_ID, str(O.SYS_OBJECT_ID_BASE + _KIND_CODE.get(device.kind, 0)))
     store.put(O.SYS_NAME, device.name)
     store.put(O.IF_NUMBER, len(device.interfaces))
     for iface in device.interfaces:
@@ -210,6 +214,15 @@ def build_host_mib(host, net: Network) -> MibStore:
     store.put(
         O.HR_PROCESSOR_LOAD + 1,
         lambda h=host, n=net: int(min(100.0, 100.0 * h.load(n.now))),
+    )
+    # hrSystem scalars: a deterministic process count that tracks the
+    # load average (a busier machine runs more processes), and a single
+    # logged-in user — the simulated hosts are compute nodes, not
+    # terminals.  Both are read-through so pollers see load changes.
+    store.put(O.HR_SYSTEM_NUM_USERS, 1)
+    store.put(
+        O.HR_SYSTEM_PROCESSES,
+        lambda h=host, n=net: 40 + int(10.0 * h.load(n.now)),
     )
     return store
 

@@ -86,6 +86,10 @@ SYS_DESCR = SYSTEM + "1.0"
 SYS_OBJECT_ID = SYSTEM + "2.0"
 SYS_NAME = SYSTEM + "5.0"
 
+#: synthetic enterprises arc the simulated devices report as their
+#: sysObjectID (1.3.6.1.4.1.<private>.<kind-code>)
+SYS_OBJECT_ID_BASE = Oid("1.3.6.1.4.1.54321")
+
 INTERFACES = MIB2 + "2"
 IF_NUMBER = INTERFACES + "1.0"
 IF_TABLE = INTERFACES + "2"

@@ -20,7 +20,12 @@ from repro.common.errors import AgentUnreachableError
 from repro.common.status import QueryStatus
 from repro.common.units import MBPS
 from repro.deploy import deploy_wan
-from repro.netsim.builders import SiteSpec, build_multisite_wan, build_switched_lan
+from repro.netsim.builders import (
+    SiteSpec,
+    build_dumbbell,
+    build_multisite_wan,
+    build_switched_lan,
+)
 from repro.snmp import oid as O
 from repro.snmp.agent import instrument_network
 from repro.snmp.client import SnmpClient, SnmpCostModel
@@ -265,3 +270,57 @@ class TestProbeFaults:
         assert meas.throughput_bps == pytest.approx(good.throughput_bps)
         assert snap["counters"]["collectors.benchmark.probe_failures"] >= 1
         assert w.net.now - t0 >= dep.net.faults.plan.probe_timeout_s
+
+
+class TestTargetedFaults:
+    """The scalpel helpers: take down one named agent or one link,
+    deterministically, instead of rolling probabilistic dice."""
+
+    def test_crash_agent_blackholes_then_restores(self):
+        lan = build_switched_lan(4, fanout=4)
+        world = instrument_network(lan.net)
+        client = SnmpClient(world, lan.hosts[0].ip)
+        ip = lan.switches[0].management_ip
+        name = client.get(ip, O.SYS_NAME)
+        with obs.scoped_registry() as reg:
+            faults.crash_agent(world, ip, down_s=30.0)
+            with pytest.raises(AgentUnreachableError):
+                client.get(ip, O.SYS_NAME)
+            snap = obs.export.snapshot(reg)
+        assert snap["counters"]["faults.injected{kind=agent_crash}"] == 1
+        lan.net.engine.run_until(lan.net.now + 60.0)
+        assert client.get(ip, O.SYS_NAME) == name
+
+    def test_crash_agent_rejects_unknown_ip(self):
+        lan = build_switched_lan(4)
+        world = instrument_network(lan.net)
+        with pytest.raises(ValueError):
+            faults.crash_agent(world, "10.99.99.99")
+
+    def test_latency_spike_reverts_on_schedule(self):
+        d = build_dumbbell()
+        link = d.h1.interfaces[0].link
+        base = link.latency_s
+        faults.spike_link_latency(d.net, link, 0.25, duration_s=15.0)
+        assert link.latency_s == pytest.approx(base + 0.25)
+        d.net.engine.run_until(d.net.now + 20.0)
+        assert link.latency_s == pytest.approx(base)
+
+    def test_degrade_link_rebalances_live_flows(self):
+        d = build_dumbbell()
+        f = d.net.flows.start_flow(d.h1, d.h2)
+        assert f.rate_bps == pytest.approx(100 * MBPS)
+        link = d.h1.interfaces[0].link
+        faults.degrade_link(d.net, link, 0.4, duration_s=10.0)
+        assert f.rate_bps == pytest.approx(40 * MBPS)
+        assert link.capacity_bps == pytest.approx(40 * MBPS)
+        d.net.engine.run_until(d.net.now + 20.0)
+        assert f.rate_bps == pytest.approx(100 * MBPS)
+
+    def test_degrade_link_validates_factor(self):
+        d = build_dumbbell()
+        link = d.h1.interfaces[0].link
+        with pytest.raises(ValueError):
+            faults.degrade_link(d.net, link, 0.0)
+        with pytest.raises(ValueError):
+            faults.degrade_link(d.net, link, 1.5)

@@ -45,6 +45,45 @@ class TestPragmas:
         ps = PragmaSet.of("x = 1  # remoslint: disable=RML001, RML006\n")
         assert ps.by_line[1] == {"RML001", "RML006"}
 
+    def test_pragma_on_decorator_line_suppresses_decorated_def(self):
+        """A rule that reports at the ``def`` line of a decorated
+        function must also honour a pragma sitting on any of the
+        decorator lines — the decorators are part of the statement."""
+        import ast
+
+        from repro.lint.core import FileContext, Rule
+
+        class DefRule(Rule):
+            code = "RML001"
+
+        src = textwrap.dedent(
+            """
+            import functools
+
+
+            @functools.wraps  # remoslint: disable=RML001
+            @functools.lru_cache(maxsize=4)
+            async def fn():
+                return 1
+            """
+        )
+        ctx = FileContext(src, path="src/x.py")
+        node = next(
+            n for n in ast.walk(ctx.tree) if isinstance(n, ast.AsyncFunctionDef)
+        )
+        v = ctx.violation(DefRule(), node, "m")
+        assert v.line == node.lineno  # reported at the `def`
+        assert set(v.pragma_lines) == set(
+            range(node.decorator_list[0].lineno, node.lineno)
+        )
+        assert PragmaSet.of(src).suppresses(v)
+        # the same violation without the decorator back-channel would
+        # slip past the pragma — that was the blind spot
+        bare = Violation(
+            code=v.code, path=v.path, line=v.line, col=0, message="m"
+        )
+        assert not PragmaSet.of(src).suppresses(bare)
+
     def test_pragma_on_other_line_does_not_suppress(self):
         src = textwrap.dedent(
             """

@@ -47,6 +47,14 @@ def test_cli_check_baseline_exits_zero(capsys):
     assert "0 new violation(s)" in capsys.readouterr().out
 
 
+def test_project_analysis_is_clean(capsys):
+    """The whole-program RML1xx gate: layer contract, async safety,
+    transitive clock purity, status dataflow, and dead exports all hold
+    on the committed tree (nothing grandfathered)."""
+    assert main(["--root", str(REPO_ROOT), "--project", "--check-baseline"]) == 0
+    assert "0 new violation(s)" in capsys.readouterr().out
+
+
 def test_zero_baseline_for_hard_invariants():
     config = load_config(REPO_ROOT)
     baseline = Baseline.load(REPO_ROOT / config.baseline)

@@ -27,10 +27,13 @@ STRICT_FILES = (
     + [
         REPO_ROOT / "src" / "repro" / "collectors" / "master.py",
         REPO_ROOT / "src" / "repro" / "collectors" / "sharding.py",
+        REPO_ROOT / "src" / "repro" / "faults.py",
         REPO_ROOT / "src" / "repro" / "modeler" / "graph.py",
         REPO_ROOT / "src" / "repro" / "modeler" / "maxmin.py",
         REPO_ROOT / "src" / "repro" / "modeler" / "planner.py",
         REPO_ROOT / "src" / "repro" / "netsim" / "flows.py",
+        REPO_ROOT / "src" / "repro" / "service" / "admission.py",
+        REPO_ROOT / "src" / "repro" / "service" / "wire.py",
     ]
     + sorted((REPO_ROOT / "src" / "repro" / "obs").rglob("*.py"))
 )
@@ -43,10 +46,13 @@ STRICT_MODULES = [
     "repro.common.units",
     "repro.collectors.master",
     "repro.collectors.sharding",
+    "repro.faults",
     "repro.modeler.graph",
     "repro.modeler.maxmin",
     "repro.modeler.planner",
     "repro.netsim.flows",
+    "repro.service.admission",
+    "repro.service.wire",
     "repro.obs",
     "repro.obs.catalog",
     "repro.obs.export",

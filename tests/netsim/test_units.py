@@ -1,0 +1,55 @@
+"""Unit-conversion helpers: bits/s rates vs byte sizes.
+
+The invariants pinned here are the round trips the rest of the code
+silently relies on: bytes_for and seconds_for are inverses at a fixed
+rate, and both respect the bits-per-byte factor that separates SNMP
+octet counters from ifSpeed.
+"""
+
+import math
+
+import pytest
+
+from repro.common.units import (
+    BITS_PER_BYTE,
+    GBPS,
+    KBPS,
+    MBPS,
+    bytes_for,
+    fmt_rate,
+    mbps,
+    seconds_for,
+    to_mbps,
+)
+
+
+class TestRateConversions:
+    def test_mbps_round_trip(self):
+        assert to_mbps(mbps(4.11)) == pytest.approx(4.11)
+        assert mbps(1.0) == MBPS
+
+    def test_bytes_for_accounts_for_bits_per_byte(self):
+        # 8 Mbit/s for one second is exactly one megabyte
+        assert bytes_for(8 * MBPS, 1.0) == 1_000_000.0
+        assert bytes_for(MBPS, 0.0) == 0.0
+
+    def test_seconds_for_inverts_bytes_for(self):
+        rate = 42.5 * KBPS
+        nbytes = bytes_for(rate, 3.7)
+        assert seconds_for(nbytes, rate) == pytest.approx(3.7)
+        assert seconds_for(1_000_000.0, 8 * MBPS) == pytest.approx(1.0)
+        assert seconds_for(125.0, KBPS) == pytest.approx(
+            125.0 * BITS_PER_BYTE / KBPS
+        )
+
+    def test_seconds_for_zero_rate_is_infinite(self):
+        assert math.isinf(seconds_for(1.0, 0.0))
+        assert math.isinf(seconds_for(1.0, -5.0))
+
+
+class TestFmtRate:
+    def test_picks_the_natural_scale(self):
+        assert fmt_rate(4.11 * MBPS) == "4.11 Mbps"
+        assert fmt_rate(2.5 * GBPS) == "2.50 Gbps"
+        assert fmt_rate(56 * KBPS) == "56.00 Kbps"
+        assert fmt_rate(300.0) == "300 bps"

@@ -146,7 +146,7 @@ class TestSensors:
         lan = build_switched_lan(4)
         dep = deploy_lan(lan)
         sensor = FlowBandwidthSensor(
-            dep.modeler, lan.hosts[0], lan.hosts[3], period_s=10.0
+            dep.session(), lan.hosts[0], lan.hosts[3], period_s=10.0
         )
         sensor.start()
         lan.net.engine.run_until(lan.net.now + 60.0)
@@ -154,6 +154,14 @@ class TestSensors:
         assert sensor.stats.samples >= 5
         series = sensor.series()
         assert np.all(series == pytest.approx(100 * MBPS, rel=0.05))
+
+    def test_flow_bandwidth_sensor_rejects_non_session(self):
+        # the sensor takes the session facade, not a Modeler or a
+        # deployment — the error must say where to get one
+        lan = build_switched_lan(4)
+        dep = deploy_lan(lan)
+        with pytest.raises(TypeError, match="session"):
+            FlowBandwidthSensor(dep.modeler, lan.hosts[0], lan.hosts[3])
 
     def test_flow_bandwidth_sensor_uses_session_api(self):
         # the sensor was migrated off the deprecated Modeler.flow_query
@@ -163,7 +171,7 @@ class TestSensors:
         lan = build_switched_lan(4)
         dep = deploy_lan(lan)
         sensor = FlowBandwidthSensor(
-            dep.modeler, lan.hosts[0], lan.hosts[3], period_s=10.0
+            dep.session(), lan.hosts[0], lan.hosts[3], period_s=10.0
         )
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)

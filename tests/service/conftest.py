@@ -1,0 +1,82 @@
+"""Asyncio hygiene smoke for the service suite.
+
+Set ``REPRO_ASYNCIO_DEBUG=1`` (CI's service smoke step does) and every
+``asyncio.run`` in this suite executes under event-loop debug mode with
+an aggressive slow-callback threshold.  Debug mode surfaces un-awaited
+coroutines and cross-loop misuse; the slow-callback log catches
+synchronous sim work (world builds, warmups) smuggled inside a
+coroutine, which would stall a real server's loop for every tenant.
+
+The service intentionally executes *queries* synchronously on the loop
+(the sim engine is single-threaded and a query is milliseconds of wall
+time), so the threshold defaults to a full second — tight enough to
+trip on a multi-second deploy-and-warm, loose enough for dispatch.
+Tune with ``REPRO_SLOW_CALLBACK_S``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import os
+
+import pytest
+
+
+class _SlowCallbackTrap(logging.Handler):
+    """Collects asyncio's 'Executing ... took N seconds' warnings."""
+
+    def __init__(self) -> None:
+        super().__init__(level=logging.WARNING)
+        self.hits: list[str] = []
+
+    def emit(self, record: logging.LogRecord) -> None:
+        msg = record.getMessage()
+        if "Executing" in msg and "took" in msg:
+            self.hits.append(msg)
+
+
+@pytest.fixture(autouse=True)
+def asyncio_debug_smoke(monkeypatch):
+    """Env-gated: run the suite's event loops in debug mode and fail
+    the test if any callback blocked the loop past the threshold."""
+    if os.environ.get("REPRO_ASYNCIO_DEBUG") != "1":
+        yield
+        return
+
+    slow_s = float(os.environ.get("REPRO_SLOW_CALLBACK_S", "1.0"))
+    trap = _SlowCallbackTrap()
+    asyncio_log = logging.getLogger("asyncio")
+    asyncio_log.addHandler(trap)
+    # the warning is dropped before reaching handlers if the logger's
+    # effective level is above WARNING
+    old_level = asyncio_log.level
+    if asyncio_log.getEffectiveLevel() > logging.WARNING:
+        asyncio_log.setLevel(logging.WARNING)
+
+    real_run = asyncio.run
+
+    def debug_run(main, **kwargs):
+        loop = asyncio.new_event_loop()
+        loop.set_debug(True)
+        loop.slow_callback_duration = slow_s
+        try:
+            return loop.run_until_complete(main)
+        finally:
+            try:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            finally:
+                loop.close()
+
+    monkeypatch.setattr(asyncio, "run", debug_run)
+    try:
+        yield
+    finally:
+        asyncio_log.removeHandler(trap)
+        asyncio_log.setLevel(old_level)
+        monkeypatch.setattr(asyncio, "run", real_run)
+    assert not trap.hits, (
+        "event loop blocked past "
+        f"{slow_s:.2f}s — move the synchronous work out of the coroutine:\n"
+        + "\n".join(trap.hits)
+    )

@@ -56,11 +56,18 @@ def wire_bytes(ans) -> str:
 
 
 def via_service(coro_fn):
-    """Run a client interaction against a fresh twin-world service."""
+    """Run a client interaction against a fresh twin-world service.
+
+    The twin world is built *before* the event loop starts: deploying
+    and warming a WAN is seconds of synchronous sim work, and doing it
+    inside a coroutine would block the loop — exactly what the asyncio
+    debug smoke (``REPRO_ASYNCIO_DEBUG=1``, see conftest) exists to
+    catch.  Only the client interaction itself runs under the loop.
+    """
+    w, dep = build_world()
+    service = RemosService.from_deployment(dep, ServiceConfig())
 
     async def run():
-        w, dep = build_world()
-        service = RemosService.from_deployment(dep, ServiceConfig())
         return await coro_fn(DirectClient(service), w)
 
     return asyncio.run(run())
@@ -134,11 +141,13 @@ class TestDegradedEquivalence:
         assert direct.degraded  # the crashed site forces LKG data
 
         # twin world, same degradation, queried through the service
+        # (world built and degraded before the loop starts)
+        w2, dep2 = build_world()
+        self.degrade(w2, dep2)
+        service = RemosService.from_deployment(dep2, ServiceConfig())
+        h2 = hosts(w2)
+
         async def twin():
-            w2, dep2 = build_world()
-            self.degrade(w2, dep2)
-            service = RemosService.from_deployment(dep2, ServiceConfig())
-            h2 = hosts(w2)
             return await DirectClient(service).flow_info(h2["src"], h2["dst"])
 
         remote = asyncio.run(twin())
@@ -153,11 +162,12 @@ class TestDegradedEquivalence:
         direct = dep.session().topology([h["src"], h["dst"]])
         assert direct.degraded
 
+        w2, dep2 = build_world()
+        self.degrade(w2, dep2)
+        service = RemosService.from_deployment(dep2, ServiceConfig())
+        h2 = hosts(w2)
+
         async def twin():
-            w2, dep2 = build_world()
-            self.degrade(w2, dep2)
-            service = RemosService.from_deployment(dep2, ServiceConfig())
-            h2 = hosts(w2)
             return await DirectClient(service).topology([h2["src"], h2["dst"]])
 
         remote = asyncio.run(twin())
@@ -173,9 +183,10 @@ class TestHttpEquivalence:
         h = hosts(w)
         direct = dep.session().flow_info(h["src"], h["dst"])
 
+        w2, dep2 = build_world()
+        service = RemosService.from_deployment(dep2, ServiceConfig())
+
         async def over_http():
-            w2, dep2 = build_world()
-            service = RemosService.from_deployment(dep2, ServiceConfig())
             server = await start_server(service, host="127.0.0.1", port=0)
             port = server.sockets[0].getsockname()[1]
             try:

@@ -47,6 +47,24 @@ class TestHostMib:
         speeds = client.table_column(lan.hosts[0].ip, O.IF_SPEED)
         assert len(speeds) == 1
 
+    def test_sys_object_id_encodes_device_kind(self, lan_world):
+        lan, world, client = lan_world
+        assert client.get(lan.hosts[0].ip, O.SYS_OBJECT_ID) == str(
+            O.SYS_OBJECT_ID_BASE + 1
+        )
+        assert client.get(lan.switches[0].management_ip, O.SYS_OBJECT_ID) == str(
+            O.SYS_OBJECT_ID_BASE + 3
+        )
+
+    def test_hr_system_scalars_track_load(self, lan_world):
+        lan, world, client = lan_world
+        h = lan.hosts[0]
+        assert client.get(h.ip, O.HR_SYSTEM_NUM_USERS) == 1
+        h.load_source = lambda t: 0.0
+        assert client.get(h.ip, O.HR_SYSTEM_PROCESSES) == 40
+        h.load_source = lambda t: 0.8
+        assert client.get(h.ip, O.HR_SYSTEM_PROCESSES) == 48
+
     def test_opt_in_subset(self):
         lan = build_switched_lan(4)
         world = instrument_network(lan.net)
